@@ -1,0 +1,121 @@
+// Empirical approximation quality: the paper proves an O(N^ε) ratio for
+// EEDCB and o(log N)-inapproximability for TMEDB; this bench measures what
+// the implemented heuristics actually achieve against the exact optimum
+// (brute force) on randomized small instances.
+#include <functional>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/baselines.hpp"
+#include "core/bip.hpp"
+#include "core/brute_force.hpp"
+#include "core/eedcb.hpp"
+#include "support/math.hpp"
+
+using namespace tveg;
+using support::Table;
+
+namespace {
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  struct Solver {
+    const char* name;
+    std::function<core::Schedule(const core::TmedbInstance&,
+                                 const DiscreteTimeSet&)> run;
+  };
+  core::EedcbOptions spt, g1, g2;
+  spt.method = core::SteinerMethod::kShortestPath;
+  g1.method = core::SteinerMethod::kRecursiveGreedy;
+  g1.steiner_level = 1;
+  g2.method = core::SteinerMethod::kRecursiveGreedy;
+  g2.steiner_level = 2;
+
+  const Solver solvers[] = {
+      {"EEDCB(spt)",
+       [&](const auto& inst, const auto& dts) {
+         return run_eedcb(inst, dts, spt).schedule;
+       }},
+      {"EEDCB(greedy L1)",
+       [&](const auto& inst, const auto& dts) {
+         return run_eedcb(inst, dts, g1).schedule;
+       }},
+      {"EEDCB(greedy L2)",
+       [&](const auto& inst, const auto& dts) {
+         return run_eedcb(inst, dts, g2).schedule;
+       }},
+      {"BIP(temporal)",
+       [&](const auto& inst, const auto& dts) {
+         return run_bip(inst, dts).schedule;
+       }},
+      {"GREED",
+       [&](const auto& inst, const auto& dts) {
+         return run_baseline(inst, dts,
+                             {.rule = core::BaselineRule::kGreedy})
+             .schedule;
+       }},
+      {"RAND",
+       [&](const auto& inst, const auto& dts) {
+         return run_baseline(
+                    inst, dts,
+                    {.rule = core::BaselineRule::kRandom, .seed = 11})
+             .schedule;
+       }},
+  };
+
+  std::vector<support::SampleSet> ratios(std::size(solvers));
+  std::size_t instances = 0;
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    trace::SnapshotConfig cfg;
+    cfg.nodes = 7;
+    cfg.slot = 25;
+    cfg.horizon = 175;
+    cfg.p = 0.3;
+    cfg.min_distance = 1.0;
+    cfg.max_distance = 4.0;
+    cfg.seed = seed;
+    const core::Tveg tveg(trace::generate_snapshots(cfg), unit_radio(),
+                          {.model = channel::ChannelModel::kStep});
+    const core::TmedbInstance inst{&tveg, 0, 175.0};
+    const auto opt = brute_force_optimal(inst);
+    if (!opt.feasible || opt.cost <= 0) continue;
+    ++instances;
+    const auto dts = tveg.build_dts();
+    for (std::size_t s = 0; s < std::size(solvers); ++s) {
+      const core::Schedule schedule = solvers[s].run(inst, dts);
+      if (!core::check_feasibility(inst, schedule).feasible) continue;
+      ratios[s].add(schedule.total_cost() / opt.cost);
+    }
+  }
+
+  Table table({"solver", "instances", "mean_ratio", "p90_ratio",
+               "max_ratio"});
+  for (std::size_t s = 0; s < std::size(solvers); ++s) {
+    if (ratios[s].empty()) continue;
+    table.add_row({solvers[s].name,
+                   Table::fmt(static_cast<double>(ratios[s].count()), 0),
+                   Table::fmt(ratios[s].mean(), 3),
+                   Table::fmt(ratios[s].quantile(0.9), 3),
+                   Table::fmt(ratios[s].quantile(1.0), 3)});
+  }
+  bench::emit("Empirical approximation ratios vs exact optimum "
+              "(7-node random temporal graphs)",
+              table);
+  std::cout << "\nSolved " << instances
+            << " feasible instances. Expected: EEDCB variants close to 1, "
+               "level 2 <= level 1;\nGREED noticeably above; RAND worst. "
+               "All far below the theoretical O(N^eps) envelope.\n";
+  return 0;
+}

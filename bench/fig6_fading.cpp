@@ -1,0 +1,62 @@
+// Fig. 6 — performance in the fading scenario vs network size N
+// (T = 2000 s):
+//   (a) normalized energy: FR-RAND > FR-GREED > FR-EEDCB > RAND > GREED
+//       > EEDCB;
+//   (b) Monte-Carlo packet delivery ratio under Rayleigh draws: FR-* ≈ 1,
+//       static-designed schedules lose roughly a third of the nodes at
+//       N = 20 and degrade as N grows.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace tveg;
+using bench::emit;
+using bench::paper_trace;
+using bench::source_panel;
+using support::Table;
+
+int main() {
+  const std::vector<NodeId> sizes{10, 15, 20, 25, 30};
+  const Time deadline = 2000;
+
+  Table energy({"N", "EEDCB", "GREED", "RAND", "FR-EEDCB", "FR-GREED",
+                "FR-RAND"});
+  Table delivery({"N", "EEDCB", "GREED", "RAND", "FR-EEDCB", "FR-GREED",
+                  "FR-RAND"});
+  const sim::Algorithm order[] = {
+      sim::Algorithm::kEedcb,   sim::Algorithm::kGreed,
+      sim::Algorithm::kRand,    sim::Algorithm::kFrEedcb,
+      sim::Algorithm::kFrGreed, sim::Algorithm::kFrRand,
+  };
+
+  for (NodeId n : sizes) {
+    const sim::Workbench bench(paper_trace(n, /*ramped=*/false),
+                               sim::paper_radio());
+    const auto sources = source_panel(n);
+    std::vector<std::string> energy_row{Table::fmt(n, 0)};
+    std::vector<std::string> delivery_row{Table::fmt(n, 0)};
+
+    for (sim::Algorithm a : order) {
+      support::RunningStat e, d;
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const auto outcome = bench.run(a, sources[i], deadline, i + 1);
+        if (!outcome.covered_all || !outcome.allocation_feasible) continue;
+        e.add(outcome.normalized_energy);
+        const auto stats = bench.delivery_under_fading(
+            sources[i], outcome.schedule, {.trials = 1000, .seed = i + 1});
+        d.add(stats.mean_delivery_ratio);
+      }
+      energy_row.push_back(e.empty() ? "-" : Table::fmt(e.mean(), 2));
+      delivery_row.push_back(d.empty() ? "-" : Table::fmt(d.mean(), 4));
+    }
+    energy.add_row(std::move(energy_row));
+    delivery.add_row(std::move(delivery_row));
+  }
+
+  emit("Fig. 6(a): fading scenario — normalized energy vs N", energy);
+  emit("Fig. 6(b): fading scenario — packet delivery ratio vs N", delivery);
+  std::cout << "\nExpected: energy FR-RAND > FR-GREED > FR-EEDCB > RAND > "
+               "GREED ~ EEDCB;\ndelivery FR-* near 1.0, static algorithms "
+               "well below and falling with N.\n";
+  return 0;
+}

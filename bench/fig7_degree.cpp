@@ -1,0 +1,59 @@
+// Fig. 7 — total normalized energy per broadcast and average node degree
+// over trace time, sampled every 500 s on [5000, 15000] s (N = 20,
+// T = 2000 s). The ramped Haggle-like trace reproduces the paper's degree
+// warm-up; energy falls as the average degree rises because each relay
+// informs more nodes per transmission.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace tveg;
+using bench::emit;
+using bench::paper_trace;
+using support::Table;
+
+int main() {
+  const NodeId n = 20;
+  const Time deadline = 2000;
+  const auto trace = paper_trace(n, /*ramped=*/true);
+
+  Table stat({"window_start_s", "avg_degree", "EEDCB", "GREED", "RAND"});
+  Table fading({"window_start_s", "avg_degree", "FR-EEDCB", "FR-GREED",
+                "FR-RAND"});
+
+  for (Time t0 = 5000; t0 <= 15000; t0 += 500) {
+    // Average degree over the 500 s reporting window.
+    support::RunningStat degree;
+    for (Time x = t0; x < t0 + 500; x += 50) degree.add(trace.average_degree(x));
+
+    // Broadcast inside [t0, t0 + deadline]: restrict the trace to the
+    // window so every algorithm sees exactly this slice of the graph.
+    const Time hi = std::min<Time>(t0 + deadline, trace.horizon());
+    if (hi - t0 < deadline / 2) break;
+    const auto window = trace.window(t0, hi);
+    const sim::Workbench bench(window, sim::paper_radio());
+    const auto sources = bench::source_panel(n, 4);
+
+    auto point = [&](sim::Algorithm a) {
+      return bench::run_point(bench, a, sources, hi - t0).mean_energy;
+    };
+
+    stat.add_row({Table::fmt(t0, 0), Table::fmt(degree.mean(), 2),
+                  Table::fmt(point(sim::Algorithm::kEedcb), 2),
+                  Table::fmt(point(sim::Algorithm::kGreed), 2),
+                  Table::fmt(point(sim::Algorithm::kRand), 2)});
+    fading.add_row({Table::fmt(t0, 0), Table::fmt(degree.mean(), 2),
+                    Table::fmt(point(sim::Algorithm::kFrEedcb), 2),
+                    Table::fmt(point(sim::Algorithm::kFrGreed), 2),
+                    Table::fmt(point(sim::Algorithm::kFrRand), 2)});
+  }
+
+  emit("Fig. 7(a): static channel — energy and average degree over time",
+       stat);
+  emit("Fig. 7(b): Rayleigh fading — energy and average degree over time",
+       fading);
+  std::cout << "\nExpected: average degree climbs until ~8000 s then "
+               "plateaus; energy of every method falls over the ramp and "
+               "then flattens.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmark — DTS construction (Sec. V) as a function of network size,
+// contact density, and latency τ. Validates the complexity discussion:
+// τ ≈ 0 keeps the point count near O(N²L); τ > 0 triggers the +τ cascade.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "tvg/dts.hpp"
+
+using namespace tveg;
+
+namespace {
+
+trace::ContactTrace make_trace(NodeId nodes, std::uint64_t seed) {
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.horizon = 17000;
+  cfg.pair_probability = 0.5;
+  cfg.activation_ramp_end = 500;
+  cfg.seed = seed;
+  return trace::generate_haggle_like(cfg);
+}
+
+void BM_DtsBuild_Nodes(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  const auto trace = make_trace(nodes, 1);
+  const auto g = trace.to_graph(0.0);
+  std::size_t points = 0;
+  for (auto _ : state) {
+    const auto dts = DiscreteTimeSet::build(g);
+    points = dts.total_points();
+    benchmark::DoNotOptimize(points);
+  }
+  state.counters["dts_points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_DtsBuild_Nodes)->Arg(10)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_DtsBuild_Latency(benchmark::State& state) {
+  const auto tau = static_cast<double>(state.range(0));
+  const auto trace = make_trace(20, 1);
+  const auto g = trace.to_graph(tau);
+  std::size_t points = 0;
+  for (auto _ : state) {
+    DtsOptions options;
+    options.max_points_per_node = 20000;
+    const auto dts = DiscreteTimeSet::build(g, options);
+    points = dts.total_points();
+    benchmark::DoNotOptimize(points);
+  }
+  state.counters["dts_points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_DtsBuild_Latency)->Arg(0)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_AdjacentPartition(benchmark::State& state) {
+  const auto trace = make_trace(20, 1);
+  const auto g = trace.to_graph(0.0);
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      benchmark::DoNotOptimize(g.adjacent_partition(v));
+  }
+}
+BENCHMARK(BM_AdjacentPartition);
+
+void BM_EarliestArrival(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<NodeId>(state.range(0)), 1);
+  const auto g = trace.to_graph(0.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g.earliest_arrival(0, 0.0));
+}
+BENCHMARK(BM_EarliestArrival)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

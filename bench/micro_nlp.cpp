@@ -1,0 +1,82 @@
+// Microbenchmark — the optimal-energy-allocation NLP (Eq. 14–17):
+// coordinate descent vs augmented Lagrangian on real FR backbones, plus
+// objective quality counters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/energy_allocation.hpp"
+#include "core/fr.hpp"
+
+using namespace tveg;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<core::Tveg> tveg;
+  core::Schedule backbone;
+
+  explicit Fixture(NodeId nodes) {
+    trace::HaggleLikeConfig cfg;
+    cfg.nodes = nodes;
+    cfg.horizon = 17000;
+    cfg.pair_probability = 0.5;
+    cfg.activation_ramp_end = 500;
+    cfg.seed = 1;
+    tveg = std::make_unique<core::Tveg>(
+        trace::generate_haggle_like(cfg), sim::paper_radio(),
+        core::Tveg::Options{.model = channel::ChannelModel::kRayleigh});
+    const core::TmedbInstance inst{tveg.get(), 0, 4000.0};
+    backbone = run_eedcb(inst).schedule;
+  }
+
+  core::TmedbInstance instance() const {
+    return core::TmedbInstance{tveg.get(), 0, 4000.0};
+  }
+};
+
+void BM_AllocationCoordinateDescent(benchmark::State& state) {
+  Fixture f(static_cast<NodeId>(state.range(0)));
+  double total = 0;
+  for (auto _ : state) {
+    const auto out = allocate_energy(
+        f.instance(), f.backbone,
+        {.solver = core::AllocationSolver::kCoordinateDescent});
+    total = out.schedule.total_cost();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["objective_norm"] =
+      total / (sim::paper_radio().noise_density *
+               sim::paper_radio().gamma_linear());
+}
+BENCHMARK(BM_AllocationCoordinateDescent)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_AllocationAugmentedLagrangian(benchmark::State& state) {
+  Fixture f(static_cast<NodeId>(state.range(0)));
+  double total = 0;
+  for (auto _ : state) {
+    const auto out = allocate_energy(
+        f.instance(), f.backbone,
+        {.solver = core::AllocationSolver::kAugmentedLagrangian});
+    total = out.schedule.total_cost();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["objective_norm"] =
+      total / (sim::paper_radio().noise_density *
+               sim::paper_radio().gamma_linear());
+}
+BENCHMARK(BM_AllocationAugmentedLagrangian)->Arg(10)->Arg(20);
+
+void BM_EndToEndFrEedcb(benchmark::State& state) {
+  Fixture f(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = run_fr_eedcb(f.instance());
+    benchmark::DoNotOptimize(r.allocation.feasible);
+  }
+}
+BENCHMARK(BM_EndToEndFrEedcb)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Microbenchmark — directed Steiner solvers on real auxiliary graphs:
+// runtime and tree cost of SPT+prune vs recursive greedy level 1/2
+// (the quality/time tradeoff behind EEDCB's O(N^ε) knob).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/aux_graph.hpp"
+#include "graph/steiner.hpp"
+
+using namespace tveg;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<core::Tveg> tveg;
+  std::unique_ptr<DiscreteTimeSet> dts;
+  std::unique_ptr<core::AuxGraph> aux;
+
+  explicit Fixture(NodeId nodes) {
+    trace::HaggleLikeConfig cfg;
+    cfg.nodes = nodes;
+    cfg.horizon = 17000;
+    cfg.pair_probability = 0.5;
+    cfg.activation_ramp_end = 500;
+    cfg.seed = 1;
+    tveg = std::make_unique<core::Tveg>(
+        trace::generate_haggle_like(cfg), sim::paper_radio(),
+        core::Tveg::Options{.model = channel::ChannelModel::kStep});
+    dts = std::make_unique<DiscreteTimeSet>(tveg->build_dts());
+    const core::TmedbInstance inst{tveg.get(), 0, 6000.0};
+    aux = std::make_unique<core::AuxGraph>(inst, *dts);
+  }
+};
+
+void BM_SteinerSpt(benchmark::State& state) {
+  Fixture f(static_cast<NodeId>(state.range(0)));
+  double cost = 0;
+  for (auto _ : state) {
+    graph::SteinerSolver solver(f.aux->digraph());
+    const auto tree = solver.shortest_path_heuristic(f.aux->source_vertex(),
+                                                     f.aux->terminals());
+    cost = tree.cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["tree_cost_norm"] =
+      cost / (sim::paper_radio().noise_density *
+              sim::paper_radio().gamma_linear());
+}
+BENCHMARK(BM_SteinerSpt)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SteinerGreedy(benchmark::State& state) {
+  Fixture f(static_cast<NodeId>(state.range(0)));
+  const int level = static_cast<int>(state.range(1));
+  double cost = 0;
+  for (auto _ : state) {
+    graph::SteinerSolver solver(f.aux->digraph());
+    const auto tree = solver.recursive_greedy(f.aux->source_vertex(),
+                                              f.aux->terminals(), level);
+    cost = tree.cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["tree_cost_norm"] =
+      cost / (sim::paper_radio().noise_density *
+              sim::paper_radio().gamma_linear());
+}
+BENCHMARK(BM_SteinerGreedy)
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({30, 2});
+
+void BM_AuxGraphBuild(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.horizon = 17000;
+  cfg.pair_probability = 0.5;
+  cfg.activation_ramp_end = 500;
+  cfg.seed = 1;
+  const core::Tveg tveg(trace::generate_haggle_like(cfg), sim::paper_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const auto dts = tveg.build_dts();
+  const core::TmedbInstance inst{&tveg, 0, 6000.0};
+  std::size_t arcs = 0;
+  for (auto _ : state) {
+    const core::AuxGraph aux(inst, dts);
+    arcs = aux.arc_count();
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.counters["aux_arcs"] = static_cast<double>(arcs);
+}
+BENCHMARK(BM_AuxGraphBuild)->Arg(10)->Arg(20)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Extension bench: the value of future knowledge. The paper's schedulers
+// are offline oracles (full TVEG, future included); deployed nodes can only
+// run online policies. Compares normalized energy and coverage of both
+// worlds on the paper-scale workload.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "online/driver.hpp"
+
+using namespace tveg;
+using support::Table;
+
+int main() {
+  const NodeId n = 20;
+  const auto trace = bench::paper_trace(n, /*ramped=*/false);
+  const sim::Workbench bench(trace, sim::paper_radio());
+  const auto sources = bench::source_panel(n);
+
+  online::EpidemicPolicy epidemic;
+  online::DeadlineAwarePolicy aware2(2), aware3(3);
+  online::GossipPolicy gossip(0.5);
+  struct Entry {
+    const char* name;
+    online::Policy* policy;  // null = offline algorithm below
+    sim::Algorithm offline;
+  };
+  const Entry entries[] = {
+      {"EEDCB (offline oracle)", nullptr, sim::Algorithm::kEedcb},
+      {"GREED (offline)", nullptr, sim::Algorithm::kGreed},
+      {"online epidemic", &epidemic, sim::Algorithm::kEedcb},
+      {"online deadline-aware(2)", &aware2, sim::Algorithm::kEedcb},
+      {"online deadline-aware(3)", &aware3, sim::Algorithm::kEedcb},
+      {"online gossip(0.5)", &gossip, sim::Algorithm::kEedcb},
+  };
+
+  Table table({"scheduler", "T=2000", "T=4000", "T=6000", "coverage"});
+  for (const Entry& entry : entries) {
+    std::vector<std::string> row{entry.name};
+    double covered = 0, runs = 0;
+    for (Time deadline : {2000.0, 4000.0, 6000.0}) {
+      support::RunningStat energy;
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        core::SchedulerResult r;
+        if (entry.policy) {
+          const auto inst = bench.step_instance(sources[i], deadline);
+          r = run_online(inst, bench.dts(), *entry.policy, {.seed = i + 1});
+        } else {
+          const auto outcome =
+              bench.run(entry.offline, sources[i], deadline, i + 1);
+          r.schedule = outcome.schedule;
+          r.covered_all = outcome.covered_all;
+        }
+        ++runs;
+        if (r.covered_all) {
+          covered += 1;
+          const auto inst = bench.step_instance(sources[i], deadline);
+          energy.add(core::normalized_energy(inst, r.schedule));
+        }
+      }
+      row.push_back(energy.empty() ? "-" : Table::fmt(energy.mean(), 1));
+    }
+    row.push_back(Table::fmt(covered / runs, 2));
+    table.add_row(std::move(row));
+  }
+
+  bench::emit("Online policies vs offline oracles — normalized energy "
+              "(static channel)",
+              table);
+  std::cout << "\nExpected: offline EEDCB cheapest (it sees the future); "
+               "deadline-aware online\npolicies close much of the epidemic "
+               "gap by waiting for multi-neighbor moments.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: emergency alert dissemination at a conference.
+//
+// The intro's motivating workload: a packet (an alert) must reach every
+// attendee's device within a delay budget, over a human-contact network —
+// Bluetooth-class links that exist only while people are near each other,
+// and whose channels fade. Compares the static-design pipeline (EEDCB,
+// cheap but fragile under fading) against the fading-resistant pipeline
+// (FR-EEDCB) on a Haggle-like synthetic conference trace.
+//
+// Build & run:  ./build/examples/epidemic_alert
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace tveg;
+
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = 20;            // attendees
+  cfg.horizon = 17000;       // ~4.7 h of conference time
+  cfg.pair_probability = 0.45;
+  cfg.activation_ramp_end = 500;  // everyone is mingling from the start
+  cfg.seed = 2026;
+  const auto contacts = trace::generate_haggle_like(cfg);
+  std::cout << "conference trace: " << contacts.contact_count()
+            << " contacts between " << contacts.node_count()
+            << " attendees over " << contacts.horizon() << " s\n\n";
+
+  const sim::Workbench bench(contacts, sim::paper_radio());
+  const NodeId alert_origin = 3;
+
+  support::Table table({"deadline_s", "algorithm", "energy(norm)",
+                        "delivery_under_fading", "transmissions"});
+
+  for (Time deadline : {1500.0, 3000.0, 6000.0}) {
+    for (sim::Algorithm algo :
+         {sim::Algorithm::kEedcb, sim::Algorithm::kFrEedcb}) {
+      const auto outcome = bench.run(algo, alert_origin, deadline);
+      if (!outcome.covered_all) {
+        table.add_row({support::Table::fmt(deadline, 0),
+                       sim::algorithm_name(algo), "-", "unreachable", "-"});
+        continue;
+      }
+      const auto delivery = bench.delivery_under_fading(
+          alert_origin, outcome.schedule, {.trials = 2000, .seed = 7});
+      table.add_row(
+          {support::Table::fmt(deadline, 0), sim::algorithm_name(algo),
+           support::Table::fmt(outcome.normalized_energy, 1),
+           support::Table::fmt(delivery.mean_delivery_ratio, 3),
+           support::Table::fmt(static_cast<double>(outcome.schedule.size()),
+                               0)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: EEDCB's schedules assume links are deterministic "
+               "— under Rayleigh fading\nmost attendees never get the alert. "
+               "FR-EEDCB spends more energy and delivers to\n(nearly) "
+               "everyone. Looser deadlines make both cheaper: the scheduler "
+               "can wait for\nmoments when one transmission reaches many "
+               "neighbors.\n";
+  return 0;
+}

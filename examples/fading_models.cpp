@@ -1,0 +1,89 @@
+// Scenario: choosing a fading model (paper footnote 1 extensions).
+//
+// Compares the Rayleigh, Nakagami-m and Rician ED-functions on the same
+// link budget: failure probability vs transmit cost, and the ε-cost each
+// model demands. Then runs FR-EEDCB under each model on the same trace to
+// show how line-of-sight (Rician K, Nakagami m) cuts the energy bill.
+//
+// Build & run:  ./build/examples/fading_models
+#include <iostream>
+#include <memory>
+
+#include "channel/ed_function.hpp"
+#include "core/fr.hpp"
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace tveg;
+  const auto radio = sim::paper_radio();
+  const double beta = radio.rayleigh_beta(/*distance=*/5.0);
+
+  // Failure probability vs cost (in multiples of β) per model.
+  {
+    channel::RayleighEdFunction rayleigh(beta);
+    channel::NakagamiEdFunction nakagami(3.0, beta);
+    channel::RicianEdFunction rician(6.0, beta);
+    support::Table table(
+        {"cost/beta", "rayleigh", "nakagami(m=3)", "rician(K=6)"});
+    for (double m : {0.5, 1.0, 2.0, 5.0, 20.0, 100.0}) {
+      const Cost w = m * beta;
+      table.add_row({support::Table::fmt(m, 1),
+                     support::Table::fmt(rayleigh.failure_probability(w), 4),
+                     support::Table::fmt(nakagami.failure_probability(w), 4),
+                     support::Table::fmt(rician.failure_probability(w), 4)});
+    }
+    std::cout << "failure probability at distance 5 m:\n";
+    table.print(std::cout);
+
+    support::Table cost_table({"model", "eps_cost/beta"});
+    cost_table.add_row(
+        {"rayleigh",
+         support::Table::fmt(rayleigh.min_cost_for(0.01) / beta, 1)});
+    cost_table.add_row(
+        {"nakagami(m=3)",
+         support::Table::fmt(nakagami.min_cost_for(0.01) / beta, 1)});
+    cost_table.add_row(
+        {"rician(K=6)",
+         support::Table::fmt(rician.min_cost_for(0.01) / beta, 1)});
+    std::cout << "\nsingle-hop cost for 99% decoding:\n";
+    cost_table.print(std::cout);
+  }
+
+  // FR-EEDCB under each model on one trace.
+  {
+    trace::HaggleLikeConfig cfg;
+    cfg.nodes = 12;
+    cfg.horizon = 8000;
+    cfg.activation_ramp_end = 500;
+    cfg.pair_probability = 0.6;
+    cfg.seed = 5;
+    const auto contacts = trace::generate_haggle_like(cfg);
+
+    support::Table table({"channel", "energy(norm)", "feasible"});
+    const struct {
+      const char* name;
+      channel::ChannelModel model;
+    } models[] = {
+        {"rayleigh", channel::ChannelModel::kRayleigh},
+        {"nakagami(m=2)", channel::ChannelModel::kNakagami},
+        {"rician(K=3)", channel::ChannelModel::kRician},
+    };
+    for (const auto& m : models) {
+      const core::Tveg tveg(contacts, radio, {.model = m.model});
+      const core::TmedbInstance inst{&tveg, 0, 6000.0};
+      const auto r = run_fr_eedcb(inst);
+      table.add_row({m.name,
+                     support::Table::fmt(normalized_energy(inst, r.schedule()),
+                                         1),
+                     r.feasible() ? "yes" : "no"});
+    }
+    std::cout << "\nFR-EEDCB energy under different fading models:\n";
+    table.print(std::cout);
+    std::cout << "\nReading: diversity (Nakagami m > 1) and a line-of-sight "
+                 "component (Rician K > 0)\nmake deep fades rarer, so the "
+                 "same delivery guarantee costs less energy.\n";
+  }
+  return 0;
+}

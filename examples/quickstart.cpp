@@ -1,0 +1,56 @@
+// Quickstart — the library in ~60 lines:
+//  1. describe a small time-varying network as contacts,
+//  2. wrap it in a TVEG (step channel),
+//  3. ask EEDCB for a minimum-energy delay-constrained broadcast schedule,
+//  4. verify it and print it.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/eedcb.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace tveg;
+
+  // A 5-node network over a 100 s span. Node 0 meets 1 and 2 early; node 2
+  // meets 3 mid-span; node 3 meets 4 late. Distances in meters.
+  trace::ContactTrace contacts(/*node_count=*/5, /*horizon=*/100.0);
+  contacts.add({0, 1, 0.0, 40.0, 2.0});
+  contacts.add({0, 2, 5.0, 35.0, 4.0});
+  contacts.add({2, 3, 40.0, 70.0, 3.0});
+  contacts.add({3, 4, 65.0, 95.0, 2.5});
+  contacts.sort();
+
+  // The paper's radio parameters (N0 = 4.32e-21 W/Hz, γ_th = 25.9 dB,
+  // α = 2, ε = 0.01) and a deterministic (step) channel.
+  const core::Tveg tveg(contacts, sim::paper_radio(),
+                        {.model = channel::ChannelModel::kStep});
+
+  // Broadcast from node 0; everyone must be informed within 90 s.
+  const core::TmedbInstance instance{&tveg, /*source=*/0, /*deadline=*/90.0};
+
+  const core::SchedulerResult result = run_eedcb(instance);
+  if (!result.covered_all) {
+    std::cerr << "no schedule reaches every node by the deadline\n";
+    return 1;
+  }
+
+  std::cout << "EEDCB schedule:\n" << result.schedule << "\n\n";
+
+  const auto report = check_feasibility(instance, result.schedule);
+  std::cout << "feasible:            " << (report.feasible ? "yes" : "no")
+            << "\n"
+            << "normalized energy:   "
+            << normalized_energy(instance, result.schedule) << "\n"
+            << "broadcast completes: " << result.schedule.latest_finish(0.0)
+            << " s\n";
+
+  // Per-node uninformed probabilities at the deadline (all 0 on a step
+  // channel when the schedule is feasible).
+  const auto p = uninformed_probabilities(instance, result.schedule, 90.0);
+  std::cout << "p_uninformed at T:  ";
+  for (double v : p) std::cout << ' ' << v;
+  std::cout << '\n';
+  return report.feasible ? 0 : 1;
+}

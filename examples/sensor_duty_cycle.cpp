@@ -1,0 +1,58 @@
+// Scenario: firmware broadcast in a duty-cycled sensor field.
+//
+// The paper's second motivating setting: sensor links exist only while both
+// endpoints are awake. A base station (node 0) must broadcast a command to
+// the whole field within a deadline. This example sweeps the duty cycle and
+// shows the energy/latency price of sleeping more — and how the DTS size
+// (the scheduler's search space) scales with wake-up structure.
+//
+// Build & run:  ./build/examples/sensor_duty_cycle
+#include <iostream>
+
+#include "core/eedcb.hpp"
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace tveg;
+
+  support::Table table({"duty", "contacts", "dts_points", "covered",
+                        "energy(norm)", "latency_s"});
+
+  for (double duty : {0.15, 0.3, 0.5, 0.8}) {
+    trace::DutyCycleConfig cfg;
+    cfg.nodes = 25;
+    cfg.area = 60.0;
+    cfg.comm_range = 22.0;
+    cfg.period = 120.0;
+    cfg.duty = duty;
+    cfg.horizon = 3600.0;
+    cfg.seed = 42;
+    const auto contacts = trace::generate_duty_cycle(cfg);
+
+    const core::Tveg tveg(contacts, sim::paper_radio(),
+                          {.model = channel::ChannelModel::kStep});
+    const core::TmedbInstance instance{&tveg, 0, 1800.0};
+    const auto result = run_eedcb(instance);
+
+    table.add_row(
+        {support::Table::fmt(duty, 2),
+         support::Table::fmt(static_cast<double>(contacts.contact_count()), 0),
+         support::Table::fmt(static_cast<double>(result.stats.dts_points), 0),
+         result.covered_all ? "yes" : "no",
+         result.covered_all
+             ? support::Table::fmt(normalized_energy(instance,
+                                                     result.schedule), 1)
+             : "-",
+         result.covered_all
+             ? support::Table::fmt(result.schedule.latest_finish(0.0), 0)
+             : "-"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: lower duty cycles mean fewer, shorter link "
+               "windows — the broadcast\nneeds more (and farther) "
+               "transmissions to finish in time, or fails outright.\n";
+  return 0;
+}

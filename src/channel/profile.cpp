@@ -1,0 +1,45 @@
+#include "channel/profile.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tveg::channel {
+
+void PiecewiseConstantProfile::add(Time t, double value) {
+  TVEG_REQUIRE(samples_.empty() || t > samples_.back().t,
+               "profile samples must be strictly increasing in time");
+  samples_.push_back({t, value});
+}
+
+double PiecewiseConstantProfile::at(Time t) const {
+  TVEG_REQUIRE(!samples_.empty(), "querying an empty profile");
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Time value, const Sample& s) { return value < s.t; });
+  if (it == samples_.begin()) return samples_.front().value;
+  return (it - 1)->value;
+}
+
+std::vector<Time> PiecewiseConstantProfile::breakpoints() const {
+  std::vector<Time> out;
+  for (std::size_t i = 1; i < samples_.size(); ++i)
+    out.push_back(samples_[i].t);
+  return out;
+}
+
+double PiecewiseConstantProfile::min_value() const {
+  TVEG_REQUIRE(!samples_.empty(), "min of an empty profile");
+  double m = samples_.front().value;
+  for (const auto& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+double PiecewiseConstantProfile::max_value() const {
+  TVEG_REQUIRE(!samples_.empty(), "max of an empty profile");
+  double m = samples_.front().value;
+  for (const auto& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+}  // namespace tveg::channel

@@ -1,0 +1,48 @@
+// Piecewise-constant time profiles for channel parameters.
+//
+// The paper assumes the ED-function of an edge is unchanged over any
+// transmission window [t, t+τ]; we realize that by making every channel
+// parameter (distance d_{i,j,t}, hence gain and β) piecewise constant, and
+// feeding the breakpoints into the adjacent partitions so that each DTS
+// interval sees a constant channel (DESIGN.md, interpretive decision 5).
+#pragma once
+
+#include <vector>
+
+#include "tvg/types.hpp"
+
+namespace tveg::channel {
+
+/// Right-open piecewise-constant real function of time.
+/// Defined by samples (t_k, v_k): value is v_k on [t_k, t_{k+1}).
+/// Queries before the first sample return the first value.
+class PiecewiseConstantProfile {
+ public:
+  PiecewiseConstantProfile() = default;
+
+  /// Appends a sample; times must be strictly increasing.
+  void add(Time t, double value);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Value at time t.
+  double at(Time t) const;
+
+  /// All sample times after the first (the points where the value may
+  /// change) — these are the partition breakpoints.
+  std::vector<Time> breakpoints() const;
+
+  /// Smallest and largest values over all samples.
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  struct Sample {
+    Time t;
+    double value;
+  };
+  std::vector<Sample> samples_;
+};
+
+}  // namespace tveg::channel

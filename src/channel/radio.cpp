@@ -1,0 +1,32 @@
+#include "channel/radio.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tveg::channel {
+
+double RadioParams::gain(double distance) const {
+  TVEG_REQUIRE(distance > 0, "distance must be positive");
+  return std::pow(distance, -path_loss_exponent);
+}
+
+Cost RadioParams::step_min_cost(double distance) const {
+  return noise_density * gamma_linear() / gain(distance);
+}
+
+double RadioParams::rayleigh_beta(double distance) const {
+  // β = N0·γ_th / d^-α == N0·γ_th · d^α.
+  return noise_density * gamma_linear() *
+         std::pow(distance, path_loss_exponent);
+}
+
+void RadioParams::validate() const {
+  TVEG_REQUIRE(noise_density > 0, "noise density must be positive");
+  TVEG_REQUIRE(path_loss_exponent > 0, "path-loss exponent must be positive");
+  TVEG_REQUIRE(w_min >= 0, "w_min must be non-negative");
+  TVEG_REQUIRE(w_max > w_min, "w_max must exceed w_min");
+  TVEG_REQUIRE(epsilon > 0 && epsilon < 1, "epsilon must lie in (0, 1)");
+}
+
+}  // namespace tveg::channel

@@ -1,0 +1,42 @@
+// Radio-layer parameter set shared by every channel model (paper Sec. VII
+// defaults: N0 = 4.32e-21 W/Hz, γ_th = 25.9 dB, α = 2, ε = 0.01).
+#pragma once
+
+#include "support/math.hpp"
+#include "tvg/types.hpp"
+
+namespace tveg::channel {
+
+/// Physical and problem-level radio parameters.
+struct RadioParams {
+  /// Noise power density N0 [W/Hz].
+  double noise_density = 4.32e-21;
+  /// Decoding SNR threshold γ_th in dB.
+  double decoding_threshold_db = 25.9;
+  /// Path-loss exponent α.
+  double path_loss_exponent = 2.0;
+  /// Cost set W = [w_min, w_max].
+  Cost w_min = 0.0;
+  Cost w_max = support::kInf;
+  /// Acceptable failure (error) rate ε.
+  double epsilon = 0.01;
+
+  /// γ_th in linear scale.
+  double gamma_linear() const {
+    return support::db_to_linear(decoding_threshold_db);
+  }
+
+  /// Static-channel propagation gain at distance d: h = d^-α.
+  double gain(double distance) const;
+
+  /// Step-channel minimum cost N0·γ_th / h at distance d (Eq. 2).
+  Cost step_min_cost(double distance) const;
+
+  /// Rayleigh β = N0·γ_th / d^-α (Eq. 5).
+  double rayleigh_beta(double distance) const;
+
+  /// Validates internal consistency; throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace tveg::channel

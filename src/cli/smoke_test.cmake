@@ -1,0 +1,22 @@
+# generate → info → run round trip through the CLI binary.
+execute_process(
+  COMMAND ${TMEDB} generate --kind haggle --nodes 8 --horizon 4000
+          --seed 5 --out ${WORKDIR}/smoke.trace
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+execute_process(COMMAND ${TMEDB} info ${WORKDIR}/smoke.trace RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "info failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${TMEDB} run ${WORKDIR}/smoke.trace --algorithm FR-EEDCB
+          --source 0 --deadline 3500 --trials 100
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run failed: ${rc}")
+endif()
+if(NOT out MATCHES "normalized energy")
+  message(FATAL_ERROR "run output missing energy line: ${out}")
+endif()

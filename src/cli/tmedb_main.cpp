@@ -1,0 +1,301 @@
+// tmedb — command-line front end for the library.
+//
+//   tmedb generate --kind haggle --nodes 20 --horizon 17000 --seed 1 --out t.trace
+//   tmedb info t.trace
+//   tmedb run t.trace --algorithm FR-EEDCB --source 0 --deadline 2000
+//
+// `run` prints the schedule, its feasibility verdict, normalized energy and
+// (for fading evaluation) the Monte-Carlo delivery ratio.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule_io.hpp"
+#include "sim/experiment.hpp"
+#include "support/table.hpp"
+#include "trace/generators.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+using namespace tveg;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+        values_[a.substr(2)] = argv[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_num(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  tmedb generate --kind haggle|waypoint|dutycycle|snapshots\n"
+      "                 [--nodes N] [--horizon T] [--seed S] --out FILE\n"
+      "  tmedb info TRACE\n"
+      "  tmedb stats TRACE\n"
+      "  tmedb run TRACE [--algorithm EEDCB|GREED|RAND|FR-EEDCB|FR-GREED|FR-RAND]\n"
+      "                  [--source ID] [--deadline T] [--seed S] [--trials K]\n"
+      "                  [--steiner spt|greedy] [--level L]\n"
+      "                  [--save-schedule FILE]\n"
+      "  tmedb sweep TRACE [--source ID] [--from T0] [--to T1] [--step DT]\n"
+      "  tmedb evaluate TRACE SCHEDULE [--source ID] [--deadline T]\n"
+      "                  [--trials K] [--reliability Q] [--interference 1]\n";
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "haggle");
+  const std::string out = args.get("out", "");
+  if (out.empty()) return usage();
+
+  trace::ContactTrace result = [&] {
+    if (kind == "haggle") {
+      trace::HaggleLikeConfig cfg;
+      cfg.nodes = static_cast<NodeId>(args.get_num("nodes", cfg.nodes));
+      cfg.horizon = args.get_num("horizon", cfg.horizon);
+      cfg.activation_ramp_end = args.get_num(
+          "ramp", std::min(cfg.activation_ramp_end, 0.45 * cfg.horizon));
+      cfg.pair_probability =
+          args.get_num("pair-probability", cfg.pair_probability);
+      cfg.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+      return trace::generate_haggle_like(cfg);
+    }
+    if (kind == "waypoint") {
+      trace::RandomWaypointConfig cfg;
+      cfg.nodes = static_cast<NodeId>(args.get_num("nodes", cfg.nodes));
+      cfg.horizon = args.get_num("horizon", cfg.horizon);
+      cfg.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+      return trace::generate_random_waypoint(cfg);
+    }
+    if (kind == "dutycycle") {
+      trace::DutyCycleConfig cfg;
+      cfg.nodes = static_cast<NodeId>(args.get_num("nodes", cfg.nodes));
+      cfg.horizon = args.get_num("horizon", cfg.horizon);
+      cfg.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+      return trace::generate_duty_cycle(cfg);
+    }
+    if (kind == "snapshots") {
+      trace::SnapshotConfig cfg;
+      cfg.nodes = static_cast<NodeId>(args.get_num("nodes", cfg.nodes));
+      cfg.horizon = args.get_num("horizon", cfg.horizon);
+      cfg.seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+      return trace::generate_snapshots(cfg);
+    }
+    throw std::invalid_argument("unknown trace kind: " + kind);
+  }();
+
+  trace::write_trace_file(out, result);
+  std::cout << "wrote " << result.contact_count() << " contacts over "
+            << result.node_count() << " nodes to " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional().size() < 3) return usage();
+  const auto trace = trace::read_trace_file(args.positional()[2]);
+  std::cout << "nodes:    " << trace.node_count() << "\n"
+            << "horizon:  " << trace.horizon() << " s\n"
+            << "contacts: " << trace.contact_count() << "\n"
+            << "pairs:    " << trace.pair_count() << "\n";
+  support::Table table({"time", "avg_degree"});
+  for (int i = 0; i <= 10; ++i) {
+    const Time t = trace.horizon() * i / 10.0;
+    table.add_row({support::Table::fmt(t, 0),
+                   support::Table::fmt(trace.average_degree(t), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional().size() < 3) return usage();
+  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const trace::TraceSummary s = trace::summarize(trace);
+  std::cout << "nodes:                    " << trace.node_count() << "\n"
+            << "horizon:                  " << trace.horizon() << " s\n"
+            << "contacts:                 " << s.contacts << "\n"
+            << "pairs ever meeting:       " << s.pairs << "\n"
+            << "mean contact duration:    " << s.mean_contact_duration
+            << " s\n"
+            << "mean inter-contact gap:   " << s.mean_inter_contact << " s\n"
+            << "inter-contact tail (Hill):" << (s.inter_contact_tail_exponent
+                                                    ? std::to_string(
+                                                          s.inter_contact_tail_exponent)
+                                                    : std::string(" n/a"))
+            << "\n"
+            << "mean / max avg degree:    " << s.mean_degree << " / "
+            << s.max_degree << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (args.positional().size() < 3) return usage();
+  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto source = static_cast<NodeId>(args.get_num("source", 0));
+  const Time from = args.get_num("from", 2000);
+  const Time to = args.get_num("to", 6000);
+  const Time step = args.get_num("step", 500);
+  const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+
+  const sim::Workbench bench(trace, sim::paper_radio());
+  support::Table table({"deadline_s", "EEDCB", "GREED", "RAND", "FR-EEDCB",
+                        "FR-GREED", "FR-RAND"});
+  for (Time deadline = from; deadline <= to + 1e-9; deadline += step) {
+    std::vector<std::string> row{support::Table::fmt(deadline, 0)};
+    for (sim::Algorithm a : sim::kAllAlgorithms) {
+      const auto outcome = bench.run(a, source, deadline, seed);
+      row.push_back(outcome.covered_all && outcome.allocation_feasible
+                        ? support::Table::fmt(outcome.normalized_energy, 1)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+std::optional<sim::Algorithm> parse_algorithm(const std::string& name) {
+  for (sim::Algorithm a : sim::kAllAlgorithms)
+    if (name == sim::algorithm_name(a)) return a;
+  return std::nullopt;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional().size() < 3) return usage();
+  const auto trace = trace::read_trace_file(args.positional()[2]);
+
+  const std::string algo_name = args.get("algorithm", "EEDCB");
+  const auto algorithm = parse_algorithm(algo_name);
+  if (!algorithm) {
+    std::cerr << "unknown algorithm: " << algo_name << "\n";
+    return usage();
+  }
+
+  const auto source = static_cast<NodeId>(args.get_num("source", 0));
+  const Time deadline = args.get_num("deadline", 2000);
+  const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  const auto trials = static_cast<std::size_t>(args.get_num("trials", 2000));
+
+  sim::Workbench::Options bench_options;
+  const std::string steiner = args.get("steiner", "spt");
+  if (steiner == "greedy") {
+    bench_options.steiner_method = core::SteinerMethod::kRecursiveGreedy;
+    bench_options.steiner_level =
+        static_cast<int>(args.get_num("level", 2));
+  }
+  const sim::Workbench bench(trace, sim::paper_radio(), bench_options);
+  const auto outcome = bench.run(*algorithm, source, deadline, seed);
+
+  std::cout << algo_name << " from node " << source << ", T=" << deadline
+            << " s\n"
+            << outcome.schedule << "\n"
+            << "covered all nodes:  " << (outcome.covered_all ? "yes" : "no")
+            << "\n"
+            << "normalized energy:  " << outcome.normalized_energy << "\n";
+
+  const auto& instance = sim::fading_resistant(*algorithm)
+                             ? bench.fading_instance(source, deadline)
+                             : bench.step_instance(source, deadline);
+  const auto report = core::check_feasibility(instance, outcome.schedule);
+  std::cout << "feasible:           " << (report.feasible ? "yes" : "no");
+  if (!report.feasible) std::cout << " (" << report.reason << ")";
+  std::cout << "\n";
+
+  const auto delivery = bench.delivery_under_fading(
+      source, outcome.schedule, {.trials = trials, .seed = seed});
+  std::cout << "fading delivery:    " << delivery.mean_delivery_ratio * 100
+            << "% (over " << delivery.trials << " trials)\n";
+
+  const std::string save_path = args.get("save-schedule", "");
+  if (!save_path.empty()) {
+    core::write_schedule_file(save_path, outcome.schedule);
+    std::cout << "schedule saved to:  " << save_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  if (args.positional().size() < 4) return usage();
+  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const core::Schedule schedule =
+      core::read_schedule_file(args.positional()[3]);
+
+  const auto source = static_cast<NodeId>(args.get_num("source", 0));
+  const Time deadline = args.get_num("deadline", 2000);
+  const auto trials = static_cast<std::size_t>(args.get_num("trials", 2000));
+
+  const sim::Workbench bench(trace, sim::paper_radio());
+  const auto step_report =
+      core::check_feasibility(bench.step_instance(source, deadline), schedule);
+  const auto fading_report = core::check_feasibility(
+      bench.fading_instance(source, deadline), schedule);
+  std::cout << "schedule:           " << schedule.size() << " transmissions, "
+            << "normalized energy "
+            << core::normalized_energy(bench.step_instance(source, deadline),
+                                       schedule)
+            << "\n"
+            << "feasible (step):    "
+            << (step_report.feasible ? "yes" : step_report.reason) << "\n"
+            << "feasible (fading):  "
+            << (fading_report.feasible ? "yes" : fading_report.reason) << "\n";
+
+  sim::McOptions mc{.trials = trials,
+                    .seed = static_cast<std::uint64_t>(args.get_num("seed", 1))};
+  mc.presence_reliability = args.get_num("reliability", 1.0);
+  mc.model_interference = args.get_num("interference", 0) != 0;
+  const auto delivery =
+      sim::simulate_delivery(bench.fading(), source, schedule, mc);
+  std::cout << "fading delivery:    " << delivery.mean_delivery_ratio * 100
+            << "% (over " << delivery.trials << " trials"
+            << (mc.model_interference ? ", interference on" : "")
+            << (mc.presence_reliability < 1.0 ? ", unreliable edges" : "")
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    if (args.positional().size() < 2) return usage();
+    const std::string cmd = args.positional()[1];
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

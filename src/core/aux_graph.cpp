@@ -1,0 +1,126 @@
+#include "core/aux_graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+}
+
+AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts)
+    : AuxGraph(instance, dts, Options{}) {}
+
+AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
+                   Options options) {
+  instance.validate();
+  const Tveg& tveg = *instance.tveg;
+  const Time tau = tveg.latency();
+  const auto n = static_cast<std::size_t>(tveg.node_count());
+  TVEG_REQUIRE(static_cast<std::size_t>(dts.node_count()) == n,
+               "DTS node count mismatch");
+
+  // Clip each node's DTS to the deadline and allocate u_{i,l} vertices.
+  points_.resize(n);
+  vertex_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Time t : dts.points(static_cast<NodeId>(i))) {
+      if (t > instance.deadline + kTimeTol) break;
+      points_[i].push_back(t);
+      vertex_[i].push_back(g_.add_vertex());
+    }
+    TVEG_ASSERT_MSG(!points_[i].empty(), "node has no DTS point before T");
+    // Chain arcs u_{i,l} → u_{i,l+1}: once informed, stay informed.
+    for (std::size_t l = 0; l + 1 < vertex_[i].size(); ++l)
+      g_.add_arc(vertex_[i][l], vertex_[i][l + 1], 0.0);
+  }
+
+  source_ = vertex_[static_cast<std::size_t>(instance.source)].front();
+  TVEG_ASSERT_MSG(
+      points_[static_cast<std::size_t>(instance.source)].front() <= kTimeTol,
+      "source DTS must start at time 0");
+
+  for (NodeId t : instance.effective_targets())
+    terminals_.push_back(vertex_[static_cast<std::size_t>(t)].back());
+
+  // Transmission structure.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < points_[i].size(); ++l) {
+      const Time t = points_[i][l];
+      if (t + tau > instance.deadline + kTimeTol) break;
+      const std::vector<DcsEntry> dcs =
+          tveg.discrete_cost_set(static_cast<NodeId>(i), t);
+      if (dcs.empty()) continue;
+
+      // Receiver vertex for neighbor j: first clipped point >= t + τ.
+      auto receiver_vertex = [&](NodeId j) -> graph::VertexId {
+        const auto& jp = points_[static_cast<std::size_t>(j)];
+        auto it = std::lower_bound(jp.begin(), jp.end(), t + tau - kTimeTol);
+        if (it == jp.end()) return graph::kNoVertex;
+        const auto f = static_cast<std::size_t>(it - jp.begin());
+        return vertex_[static_cast<std::size_t>(j)][f];
+      };
+
+      if (options.power_expansion) {
+        // One power vertex per DCS level; level k reaches levels 0..k.
+        for (std::size_t k = 0; k < dcs.size(); ++k) {
+          bool any_receiver = false;
+          const graph::VertexId x = g_.add_vertex();
+          for (std::size_t m = 0; m <= k; ++m) {
+            const graph::VertexId rv = receiver_vertex(dcs[m].neighbor);
+            if (rv == graph::kNoVertex) continue;
+            g_.add_arc(x, rv, 0.0);
+            any_receiver = true;
+          }
+          if (!any_receiver) continue;  // x stays isolated, harmless
+          g_.add_arc(vertex_[i][l], x, dcs[k].cost);
+          power_info_.emplace(
+              x, PowerInfo{static_cast<NodeId>(i), t, dcs[k].cost});
+        }
+      } else {
+        // Ablation: per-receiver singleton "levels" — no broadcast advantage.
+        for (const DcsEntry& entry : dcs) {
+          const graph::VertexId rv = receiver_vertex(entry.neighbor);
+          if (rv == graph::kNoVertex) continue;
+          const graph::VertexId x = g_.add_vertex();
+          g_.add_arc(vertex_[i][l], x, entry.cost);
+          g_.add_arc(x, rv, 0.0);
+          power_info_.emplace(
+              x, PowerInfo{static_cast<NodeId>(i), t, entry.cost});
+        }
+      }
+    }
+  }
+}
+
+graph::VertexId AuxGraph::node_vertex(NodeId i, std::size_t l) const {
+  const auto& vs = vertex_.at(static_cast<std::size_t>(i));
+  TVEG_REQUIRE(l < vs.size(), "DTS point index out of range");
+  return vs[l];
+}
+
+std::size_t AuxGraph::point_count(NodeId i) const {
+  return points_.at(static_cast<std::size_t>(i)).size();
+}
+
+Time AuxGraph::point_time(NodeId i, std::size_t l) const {
+  const auto& ps = points_.at(static_cast<std::size_t>(i));
+  TVEG_REQUIRE(l < ps.size(), "DTS point index out of range");
+  return ps[l];
+}
+
+Schedule AuxGraph::extract_schedule(const graph::SteinerResult& tree) const {
+  Schedule schedule;
+  for (const auto& arc : tree.arcs) {
+    auto it = power_info_.find(arc.to);
+    if (it == power_info_.end()) continue;  // chain or deliver arc
+    schedule.add(it->second.relay, it->second.time, it->second.cost);
+  }
+  schedule.coalesce();
+  return schedule;
+}
+
+}  // namespace tveg::core

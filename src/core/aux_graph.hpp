@@ -1,0 +1,85 @@
+// The auxiliary graph of Sec. VI-A: reduces TMEDB on a DTS to the directed
+// Steiner tree / MEMT problem.
+//
+// Vertices: u_{i,l} for every node i and DTS point l (clipped to the
+// deadline), plus one power vertex x_{i,l,k} per discrete-cost-set level k.
+// Arcs:
+//   * chain     u_{i,l} → u_{i,l+1}       weight 0   ("still informed later")
+//   * transmit  u_{i,l} → x_{i,l,k}       weight w^k ("pay level-k energy")
+//   * deliver   x_{i,l,k} → u_{j,f}       weight 0   for every neighbor j
+//                with edge weight <= w^k; t_{j,f} is the first DTS point of
+//                j at or after t_{i,l} + τ.
+// The power vertices realize Property 6.1(i) (broadcast nature): one payment
+// of w^k reaches every neighbor at or below level k. The published
+// construction writes t_{j,f} = t_{i,l} − τ; we read that as a typo for +τ
+// (DESIGN.md, interpretive decision 1). Source u_{s,0}; terminals are each
+// node's last clipped DTS vertex.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/tveg.hpp"
+#include "graph/digraph.hpp"
+#include "graph/steiner.hpp"
+#include "tvg/dts.hpp"
+
+namespace tveg::core {
+
+/// The auxiliary digraph plus the bookkeeping needed to translate a Steiner
+/// tree back into a broadcast schedule.
+class AuxGraph {
+ public:
+  /// Options for construction.
+  struct Options {
+    /// Disable the power-level expansion (ablation): transmit/deliver pairs
+    /// collapse into one per-edge weighted arc, losing the broadcast
+    /// advantage.
+    bool power_expansion = true;
+  };
+
+  /// Builds the auxiliary graph for `instance` over `dts`.
+  AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
+           Options options);
+  /// As above with default options (power expansion on).
+  AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts);
+
+  const graph::Digraph& digraph() const { return g_; }
+  graph::VertexId source_vertex() const { return source_; }
+  const std::vector<graph::VertexId>& terminals() const { return terminals_; }
+  std::size_t vertex_count() const {
+    return static_cast<std::size_t>(g_.vertex_count());
+  }
+  std::size_t arc_count() const { return g_.arc_count(); }
+
+  /// Vertex u_{i,l}; l indexes the node's clipped DTS points.
+  graph::VertexId node_vertex(NodeId i, std::size_t l) const;
+  /// Number of clipped DTS points of node i.
+  std::size_t point_count(NodeId i) const;
+  /// Time of point l of node i.
+  Time point_time(NodeId i, std::size_t l) const;
+
+  /// Translates a Steiner tree over this graph into a schedule: every tree
+  /// arc entering a power vertex becomes one transmission; coalesced so a
+  /// relay pays only its highest selected level per time point.
+  Schedule extract_schedule(const graph::SteinerResult& tree) const;
+
+ private:
+  struct PowerInfo {
+    NodeId relay;
+    Time time;
+    Cost cost;
+  };
+
+  graph::Digraph g_;
+  graph::VertexId source_ = graph::kNoVertex;
+  std::vector<graph::VertexId> terminals_;
+  /// points_[i] = clipped DTS times of node i.
+  std::vector<std::vector<Time>> points_;
+  /// vertex_[i][l] = id of u_{i,l}.
+  std::vector<std::vector<graph::VertexId>> vertex_;
+  std::unordered_map<graph::VertexId, PowerInfo> power_info_;
+};
+
+}  // namespace tveg::core

@@ -1,0 +1,132 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+
+using support::kInf;
+
+namespace {
+
+/// Packed state: informed-set mask in the low 32 bits, time index above.
+std::uint64_t pack(std::uint32_t mask, std::uint32_t ti) {
+  return (static_cast<std::uint64_t>(ti) << 32) | mask;
+}
+
+struct Step {
+  std::uint64_t prev;
+  // Action that produced this state; relay == kNoNode means "wait".
+  NodeId relay = kNoNode;
+  Time time = 0;
+  Cost cost = 0;
+};
+
+}  // namespace
+
+BruteForceResult brute_force_optimal(const TmedbInstance& instance,
+                                     std::vector<Time> time_points) {
+  instance.validate();
+  const Tveg& tveg = *instance.tveg;
+  TVEG_REQUIRE(tveg.model() == channel::ChannelModel::kStep,
+               "brute force requires the step channel model");
+  TVEG_REQUIRE(tveg.latency() == 0, "brute force requires tau == 0");
+  const int n = tveg.node_count();
+  TVEG_REQUIRE(n <= 16, "brute force limited to 16 nodes");
+
+  std::sort(time_points.begin(), time_points.end());
+  std::vector<Time> pts;
+  for (Time t : time_points) {
+    if (t < 0 || t > instance.deadline + 1e-9) continue;
+    if (pts.empty() || t - pts.back() > 1e-9) pts.push_back(t);
+  }
+  TVEG_REQUIRE(!pts.empty(), "no candidate time points before the deadline");
+
+  // Goal: every terminal informed (multicast-aware).
+  std::uint32_t goal_mask = 0;
+  for (NodeId t : instance.effective_targets()) goal_mask |= 1u << t;
+  const std::uint32_t start_mask = 1u << instance.source;
+  goal_mask |= start_mask;
+
+  std::unordered_map<std::uint64_t, Cost> dist;
+  std::unordered_map<std::uint64_t, Step> parent;
+  using Entry = std::pair<Cost, std::uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+
+  const std::uint64_t start = pack(start_mask, 0);
+  dist[start] = 0;
+  pq.emplace(0.0, start);
+
+  BruteForceResult result;
+  std::uint64_t goal = 0;
+  bool found = false;
+
+  while (!pq.empty()) {
+    const auto [d, state] = pq.top();
+    pq.pop();
+    auto it = dist.find(state);
+    if (it == dist.end() || d > it->second) continue;
+    ++result.states_expanded;
+
+    const auto mask = static_cast<std::uint32_t>(state & 0xffffffffu);
+    const auto ti = static_cast<std::uint32_t>(state >> 32);
+    if ((mask & goal_mask) == goal_mask) {
+      goal = state;
+      found = true;
+      break;
+    }
+
+    auto relax = [&](std::uint64_t next, Cost nd, const Step& step) {
+      auto dit = dist.find(next);
+      if (dit == dist.end() || nd < dit->second) {
+        dist[next] = nd;
+        parent[next] = step;
+        pq.emplace(nd, next);
+      }
+    };
+
+    // Wait: advance to the next time point.
+    if (ti + 1 < pts.size())
+      relax(pack(mask, ti + 1), d, {state, kNoNode, 0, 0});
+
+    // Transmit: any informed node, any DCS level that informs someone new.
+    const Time t = pts[ti];
+    for (NodeId i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      const std::vector<DcsEntry> dcs = tveg.discrete_cost_set(i, t);
+      std::uint32_t new_mask = mask;
+      for (const DcsEntry& entry : dcs) {
+        new_mask |= 1u << entry.neighbor;  // level covers all cheaper ones
+        if (new_mask == mask) continue;    // nothing new at this level
+        relax(pack(new_mask, ti), d + entry.cost,
+              {state, i, t, entry.cost});
+      }
+    }
+  }
+
+  if (!found) return result;  // infeasible
+
+  result.feasible = true;
+  result.cost = dist[goal];
+  // Reconstruct the transmissions along the optimal state path.
+  std::uint64_t cur = goal;
+  while (cur != start) {
+    const Step& step = parent[cur];
+    if (step.relay != kNoNode)
+      result.schedule.add(step.relay, step.time, step.cost);
+    cur = step.prev;
+  }
+  return result;
+}
+
+BruteForceResult brute_force_optimal(const TmedbInstance& instance) {
+  const DiscreteTimeSet dts = instance.tveg->build_dts();
+  return brute_force_optimal(instance, dts.global_points());
+}
+
+}  // namespace tveg::core

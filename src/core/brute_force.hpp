@@ -1,0 +1,36 @@
+// Exact TMEDB solver for tiny instances — ground truth for the theorem-
+// validation tests (DTS equivalence, Theorem 5.2) and the approximation-
+// quality benches.
+//
+// Restricted to step-channel TVEGs with τ = 0 and N <= 16: the optimum is a
+// shortest path in the state graph (informed-set bitmask × time-point index)
+// where "transmit at level k" edges cost w^k and "wait" edges cost 0. The
+// caller chooses the candidate time points, which is exactly what makes this
+// useful: running it on the DTS and on arbitrarily fine refinements must
+// give the same optimal cost.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace tveg::core {
+
+/// Exact result.
+struct BruteForceResult {
+  Schedule schedule;
+  Cost cost = 0;
+  bool feasible = false;
+  std::size_t states_expanded = 0;
+};
+
+/// Optimal schedule restricted to transmissions at `time_points`
+/// (deduplicated, clipped to [0, deadline]). Requires a step-channel TVEG,
+/// τ = 0 and N <= 16.
+BruteForceResult brute_force_optimal(const TmedbInstance& instance,
+                                     std::vector<Time> time_points);
+
+/// Optimal schedule on the instance's own DTS.
+BruteForceResult brute_force_optimal(const TmedbInstance& instance);
+
+}  // namespace tveg::core

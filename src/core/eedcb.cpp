@@ -1,0 +1,48 @@
+#include "core/eedcb.hpp"
+
+#include "core/prune.hpp"
+#include "graph/steiner.hpp"
+#include "support/assert.hpp"
+
+namespace tveg::core {
+
+SchedulerResult run_eedcb(const TmedbInstance& instance,
+                          const EedcbOptions& options) {
+  instance.validate();
+  const DiscreteTimeSet dts = instance.tveg->build_dts(options.dts);
+  return run_eedcb(instance, dts, options);
+}
+
+SchedulerResult run_eedcb(const TmedbInstance& instance,
+                          const DiscreteTimeSet& dts,
+                          const EedcbOptions& options) {
+  instance.validate();
+
+  const AuxGraph aux(instance, dts, {.power_expansion = options.power_expansion});
+
+  SchedulerResult result;
+  result.stats.dts_points = dts.total_points();
+  result.stats.aux_vertices = aux.vertex_count();
+  result.stats.aux_arcs = aux.arc_count();
+
+  graph::SteinerSolver solver(aux.digraph());
+  graph::SteinerResult tree;
+  switch (options.method) {
+    case SteinerMethod::kRecursiveGreedy:
+      tree = solver.recursive_greedy(aux.source_vertex(), aux.terminals(),
+                                     options.steiner_level);
+      break;
+    case SteinerMethod::kShortestPath:
+      tree = solver.shortest_path_heuristic(aux.source_vertex(),
+                                            aux.terminals());
+      break;
+  }
+
+  result.covered_all = tree.feasible;
+  result.schedule = aux.extract_schedule(tree);
+  if (options.prune && result.covered_all)
+    result.schedule = prune_schedule(instance, result.schedule);
+  return result;
+}
+
+}  // namespace tveg::core

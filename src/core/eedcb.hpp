@@ -1,0 +1,63 @@
+// EEDCB — energy-efficient delay-constrained broadcast (paper Sec. VI-A).
+//
+// Pipeline: build the DTS (Sec. V) → build the auxiliary graph (power-level
+// expansion, Sec. VI-A) → solve directed Steiner tree to the per-node
+// terminal vertices (the MEMT reduction of Liang [3]) → translate the tree
+// back into a broadcast relay schedule. With a step-channel TVEG this solves
+// TMEDB-S directly; with a fading TVEG the edge weights are the single-hop
+// ε-costs, which makes the same pipeline the backbone-selection step of
+// FR-EEDCB (Sec. VI-B).
+#pragma once
+
+#include "core/aux_graph.hpp"
+#include "core/schedule.hpp"
+#include "tvg/dts.hpp"
+
+namespace tveg::core {
+
+/// Steiner solver choice for the MEMT step.
+enum class SteinerMethod {
+  /// Charikar recursive greedy — the algorithm behind the paper's O(N^ε)
+  /// bound; `steiner_level` picks the level (1 or 2).
+  kRecursiveGreedy,
+  /// Union of shortest paths + prune; faster, no worst-case guarantee.
+  kShortestPath,
+};
+
+/// EEDCB options.
+struct EedcbOptions {
+  SteinerMethod method = SteinerMethod::kRecursiveGreedy;
+  int steiner_level = 2;
+  DtsOptions dts;
+  /// Ablation switch: false disables the broadcast-advantage expansion.
+  bool power_expansion = true;
+  /// Local-improvement post-pass on the extracted schedule (core/prune.hpp).
+  bool prune = true;
+};
+
+/// Size diagnostics of one scheduler run.
+struct SchedulerStats {
+  std::size_t dts_points = 0;
+  std::size_t aux_vertices = 0;
+  std::size_t aux_arcs = 0;
+};
+
+/// Outcome of a scheduler: a schedule plus whether the construction could
+/// structurally reach every node (run check_feasibility for the full
+/// condition (i)–(iv) verdict).
+struct SchedulerResult {
+  Schedule schedule;
+  bool covered_all = false;
+  SchedulerStats stats;
+};
+
+/// Runs EEDCB on `instance`.
+SchedulerResult run_eedcb(const TmedbInstance& instance,
+                          const EedcbOptions& options = {});
+
+/// Runs EEDCB over a caller-provided DTS (lets sweeps reuse one DTS).
+SchedulerResult run_eedcb(const TmedbInstance& instance,
+                          const DiscreteTimeSet& dts,
+                          const EedcbOptions& options = {});
+
+}  // namespace tveg::core

@@ -1,0 +1,43 @@
+// Optimal energy allocation (paper Sec. VI-B, Eq. 14–17): given a broadcast
+// backbone (relays R and times T fixed), re-choose every transmission's cost
+// so that each node's residual failure probability is at most ε at minimum
+// total energy. This is the second half of FR-EEDCB and also the "calculated
+// by NLP" step of FR-GREED / FR-RAND.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "nlp/coverage.hpp"
+
+namespace tveg::core {
+
+/// NLP solver choice.
+enum class AllocationSolver {
+  /// Monotone coordinate descent (closed-form coordinate minima) — default.
+  kCoordinateDescent,
+  /// Generic augmented-Lagrangian projected gradient.
+  kAugmentedLagrangian,
+};
+
+/// Options for allocate_energy.
+struct AllocationOptions {
+  AllocationSolver solver = AllocationSolver::kCoordinateDescent;
+};
+
+/// Result of an allocation.
+struct AllocationOutcome {
+  Schedule schedule;              ///< backbone with re-allocated costs
+  bool feasible = false;          ///< all constraints satisfiable & satisfied
+  std::size_t constraint_count = 0;
+  std::size_t solver_passes = 0;  ///< coordinate passes / outer iterations
+};
+
+/// Solves Eq. 14–17 for the transmissions of `backbone` on
+/// `instance.tveg`'s (fading) channel model. Constraints: every node must be
+/// covered to ε by the deadline (Eq. 15) and every relay by each of its
+/// transmission times (Eq. 16). Infeasible when some node or relay is
+/// structurally unreachable from the backbone.
+AllocationOutcome allocate_energy(const TmedbInstance& instance,
+                                  const Schedule& backbone,
+                                  const AllocationOptions& options = {});
+
+}  // namespace tveg::core

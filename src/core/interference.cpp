@@ -1,0 +1,101 @@
+#include "core/interference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+}
+
+std::size_t count_collision_events(const Tveg& tveg,
+                                   const Schedule& schedule) {
+  const auto& txs = schedule.transmissions();
+  const auto n = static_cast<std::size_t>(tveg.node_count());
+  std::size_t events = 0;
+  std::vector<int> heard(n);
+
+  std::size_t k = 0;
+  while (k < txs.size()) {
+    const Time t = txs[k].time;
+    std::size_t e = k + 1;
+    while (e < txs.size() && txs[e].time - t <= kTimeTol) ++e;
+    if (e - k >= 2) {
+      std::fill(heard.begin(), heard.end(), 0);
+      for (std::size_t q = k; q < e; ++q)
+        for (NodeId j : tveg.graph().neighbors_at(txs[q].relay, t))
+          ++heard[static_cast<std::size_t>(j)];
+      for (int h : heard)
+        if (h >= 2) ++events;
+    }
+    k = e;
+  }
+  return events;
+}
+
+StaggerResult stagger_schedule(const TmedbInstance& instance,
+                               const DiscreteTimeSet& dts,
+                               const Schedule& schedule) {
+  instance.validate();
+  const Tveg& tveg = *instance.tveg;
+  const Time tau = tveg.latency();
+
+  StaggerResult result;
+  result.schedule = schedule;
+  result.collisions_before = count_collision_events(tveg, schedule);
+  result.collisions_after = result.collisions_before;
+  if (result.collisions_before == 0) return result;
+
+  const bool was_feasible = check_feasibility(instance, schedule).feasible;
+
+  // Greedy: while collisions remain, try moving one transmission of a
+  // colliding group to a later DTS point of its relay.
+  bool progress = true;
+  while (progress && result.collisions_after > 0) {
+    progress = false;
+    const std::vector<Transmission> txs = result.schedule.transmissions();
+
+    for (std::size_t k = 0; k < txs.size() && !progress; ++k) {
+      // Is tx k part of a colliding group?
+      bool collides = false;
+      for (std::size_t q = 0; q < txs.size() && !collides; ++q) {
+        if (q == k || std::fabs(txs[q].time - txs[k].time) > kTimeTol)
+          continue;
+        for (NodeId j : tveg.graph().neighbors_at(txs[k].relay, txs[k].time))
+          if (tveg.graph().adjacent(txs[q].relay, j, txs[q].time)) {
+            collides = true;
+            break;
+          }
+      }
+      if (!collides) continue;
+
+      // Candidate new times: the relay's later DTS points.
+      const auto& pts = dts.points(txs[k].relay);
+      for (std::size_t p = dts.lower_bound(txs[k].relay, txs[k].time + 1e-6);
+           p < pts.size(); ++p) {
+        const Time nt = pts[p];
+        if (nt + tau > instance.deadline + kTimeTol) break;
+        Schedule trial;
+        for (std::size_t m = 0; m < txs.size(); ++m)
+          trial.add(txs[m].relay, m == k ? nt : txs[m].time, txs[m].cost);
+        if (was_feasible && !check_feasibility(instance, trial).feasible)
+          continue;
+        const std::size_t c = count_collision_events(tveg, trial);
+        if (c < result.collisions_after) {
+          result.schedule = trial;
+          result.collisions_after = c;
+          ++result.moves;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,40 @@
+// Interference-aware schedule staggering (the scheduling half of the
+// paper's Sec. VIII future work; the evaluation half lives in
+// sim/monte_carlo.hpp).
+//
+// Under a collision model, a receiver in range of two concurrent
+// transmissions decodes neither. Schedules produced by the (interference-
+// oblivious) optimizers sometimes fire several relays at the same instant.
+// This pass greedily moves colliding transmissions to later DTS points of
+// the same relay, accepting a move only when it reduces collisions and
+// keeps the schedule feasible under the cascade semantics.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "tvg/dts.hpp"
+
+namespace tveg::core {
+
+/// Outcome of one staggering pass.
+struct StaggerResult {
+  Schedule schedule;
+  /// Number of (time-group, receiver) collision events before/after.
+  std::size_t collisions_before = 0;
+  std::size_t collisions_after = 0;
+  std::size_t moves = 0;
+};
+
+/// Counts collision events: same-time-group transmissions whose adjacency
+/// sets overlap on some receiver (each affected receiver counts once per
+/// group).
+std::size_t count_collision_events(const Tveg& tveg,
+                                   const Schedule& schedule);
+
+/// Staggers `schedule` on the instance's DTS. Never returns an infeasible
+/// schedule if the input was feasible; collisions_after may stay > 0 when
+/// no feasible move exists.
+StaggerResult stagger_schedule(const TmedbInstance& instance,
+                               const DiscreteTimeSet& dts,
+                               const Schedule& schedule);
+
+}  // namespace tveg::core

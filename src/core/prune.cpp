@@ -1,0 +1,95 @@
+#include "core/prune.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tveg::core {
+
+namespace {
+
+Schedule rebuild(const std::vector<Transmission>& txs,
+                 const std::vector<char>& keep) {
+  Schedule s;
+  for (std::size_t k = 0; k < txs.size(); ++k)
+    if (keep[k]) s.add(txs[k]);
+  return s;
+}
+
+bool feasible(const TmedbInstance& instance, const Schedule& s) {
+  return check_feasibility(instance, s).feasible;
+}
+
+}  // namespace
+
+Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule) {
+  return prune_schedule(instance, std::move(schedule), PruneOptions{});
+}
+
+Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
+                        const PruneOptions& options) {
+  instance.validate();
+  if (!feasible(instance, schedule)) return schedule;
+  const Tveg& tveg = *instance.tveg;
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+
+    if (options.try_removal) {
+      // Try dropping transmissions, most expensive first.
+      std::vector<Transmission> txs = schedule.transmissions();
+      std::vector<std::size_t> order(txs.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return txs[a].cost > txs[b].cost;
+      });
+      std::vector<char> keep(txs.size(), 1);
+      for (std::size_t k : order) {
+        keep[k] = 0;
+        if (feasible(instance, rebuild(txs, keep))) {
+          changed = true;  // the transmission was redundant
+        } else {
+          keep[k] = 1;
+        }
+      }
+      schedule = rebuild(txs, keep);
+    }
+
+    if (options.try_level_reduction) {
+      // Try lowering each transmission to a cheaper DCS level.
+      const std::vector<Transmission> txs = schedule.transmissions();
+      std::vector<Cost> costs(txs.size());
+      for (std::size_t k = 0; k < txs.size(); ++k) costs[k] = txs[k].cost;
+
+      auto build = [&] {
+        Schedule s;
+        for (std::size_t m = 0; m < txs.size(); ++m)
+          s.add(txs[m].relay, txs[m].time, costs[m]);
+        return s;
+      };
+
+      for (std::size_t k = 0; k < txs.size(); ++k) {
+        const auto dcs = tveg.discrete_cost_set(txs[k].relay, txs[k].time);
+        // Candidate cheaper levels, ascending: accept the cheapest feasible.
+        for (const DcsEntry& entry : dcs) {
+          if (entry.cost >= costs[k]) break;
+          const Cost saved = costs[k];
+          costs[k] = entry.cost;
+          if (feasible(instance, build())) {
+            changed = true;
+            break;
+          }
+          costs[k] = saved;
+        }
+      }
+      schedule = build();
+    }
+
+    if (!changed) break;
+  }
+  return schedule;
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,33 @@
+// Local-improvement post-pass for extracted schedules.
+//
+// The directed-Steiner approximation can leave structural redundancy in the
+// schedule it induces (e.g. a relay paying at two time points where one
+// covers both receiver sets). This pass greedily (a) drops transmissions
+// whose removal keeps the schedule feasible, and (b) lowers each remaining
+// transmission to the cheapest discrete-cost-set level that keeps it
+// feasible. Feasibility is re-checked through the full cascade semantics,
+// so the result is never worse and never infeasible if the input was
+// feasible.
+#pragma once
+
+#include "core/schedule.hpp"
+
+namespace tveg::core {
+
+/// Pruning knobs.
+struct PruneOptions {
+  bool try_removal = true;
+  bool try_level_reduction = true;
+  /// Removal/reduction sweeps; each sweep is monotone, so few are needed.
+  std::size_t max_rounds = 3;
+};
+
+/// Returns an improved (or identical) schedule. If `schedule` is infeasible
+/// for `instance` it is returned unchanged.
+Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
+                        const PruneOptions& options);
+
+/// Default-options overload.
+Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule);
+
+}  // namespace tveg::core

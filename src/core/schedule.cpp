@@ -1,0 +1,251 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+}
+
+void Schedule::add(NodeId relay, Time time, Cost cost) {
+  TVEG_REQUIRE(time >= 0, "transmission time must be non-negative");
+  TVEG_REQUIRE(cost >= 0, "transmission cost must be non-negative");
+  txs_.push_back({relay, time, cost});
+  sorted_ = false;
+}
+
+void Schedule::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(txs_.begin(), txs_.end(),
+            [](const Transmission& a, const Transmission& b) {
+              return std::tie(a.time, a.relay, a.cost) <
+                     std::tie(b.time, b.relay, b.cost);
+            });
+  sorted_ = true;
+}
+
+const std::vector<Transmission>& Schedule::transmissions() const {
+  ensure_sorted();
+  return txs_;
+}
+
+Cost Schedule::total_cost() const {
+  Cost sum = 0;
+  for (const Transmission& t : txs_) sum += t.cost;
+  return sum;
+}
+
+Time Schedule::latest_finish(Time tau) const {
+  Time latest = 0;
+  for (const Transmission& t : txs_) latest = std::max(latest, t.time + tau);
+  return latest;
+}
+
+void Schedule::coalesce(double time_tolerance) {
+  ensure_sorted();
+  std::vector<Transmission> merged;
+  for (const Transmission& t : txs_) {
+    if (!merged.empty() && merged.back().relay == t.relay &&
+        std::fabs(merged.back().time - t.time) <= time_tolerance) {
+      merged.back().cost = std::max(merged.back().cost, t.cost);
+    } else {
+      merged.push_back(t);
+    }
+  }
+  txs_ = std::move(merged);
+}
+
+std::ostream& operator<<(std::ostream& os, const Schedule& s) {
+  os << "schedule[" << s.size() << " tx, cost=" << s.total_cost() << "]";
+  for (const Transmission& t : s.transmissions())
+    os << "\n  relay=" << t.relay << " t=" << t.time << " w=" << t.cost;
+  return os;
+}
+
+double TmedbInstance::effective_epsilon() const {
+  TVEG_REQUIRE(tveg != nullptr, "instance has no TVEG");
+  return epsilon > 0 ? epsilon : tveg->radio().epsilon;
+}
+
+std::vector<NodeId> TmedbInstance::effective_targets() const {
+  TVEG_REQUIRE(tveg != nullptr, "instance has no TVEG");
+  if (!targets.empty()) return targets;
+  std::vector<NodeId> all(static_cast<std::size_t>(tveg->node_count()));
+  for (NodeId v = 0; v < tveg->node_count(); ++v)
+    all[static_cast<std::size_t>(v)] = v;
+  return all;
+}
+
+void TmedbInstance::validate() const {
+  TVEG_REQUIRE(tveg != nullptr, "instance has no TVEG");
+  TVEG_REQUIRE(source >= 0 && source < tveg->node_count(),
+               "source out of range");
+  TVEG_REQUIRE(deadline > 0 && deadline <= tveg->horizon(),
+               "deadline must lie in (0, horizon]");
+  const double eps = effective_epsilon();
+  TVEG_REQUIRE(eps > 0 && eps < 1, "epsilon must lie in (0, 1)");
+  for (NodeId t : targets)
+    TVEG_REQUIRE(t >= 0 && t < tveg->node_count(), "target out of range");
+}
+
+CascadeResult run_cascade(const TmedbInstance& instance,
+                          const Schedule& schedule, Time t_query) {
+  instance.validate();
+  const Tveg& tveg = *instance.tveg;
+  const Time tau = tveg.latency();
+  const double eps = instance.effective_epsilon();
+  const auto n = static_cast<std::size_t>(tveg.node_count());
+  const auto& txs = schedule.transmissions();
+
+  // Work in log space to avoid underflow on long products.
+  std::vector<double> log_p(n, 0.0);
+  log_p[static_cast<std::size_t>(instance.source)] = -support::kInf;
+
+  // Pending arrival: at `arrival` time, node `receiver`'s log p gains
+  // `log_phi`. Kept sorted by arrival (txs are processed in time order and
+  // τ is constant, so pushes are already in order).
+  struct Arrival {
+    Time arrival;
+    NodeId receiver;
+    double log_phi;
+  };
+  std::vector<Arrival> pending;
+  std::size_t drained = 0;
+  auto drain = [&](Time upto) {
+    while (drained < pending.size() &&
+           pending[drained].arrival <= upto + kTimeTol) {
+      const Arrival& a = pending[drained++];
+      log_p[static_cast<std::size_t>(a.receiver)] += a.log_phi;
+    }
+  };
+
+  CascadeResult result;
+  result.applied.assign(txs.size(), 0);
+
+  std::size_t k = 0;
+  while (k < txs.size()) {
+    const Time t = txs[k].time;
+    if (t + tau > t_query + kTimeTol) break;  // completes after the query
+    std::size_t group_end = k + 1;
+    while (group_end < txs.size() && txs[group_end].time - t <= kTimeTol)
+      ++group_end;
+
+    drain(t);
+
+    // Fixpoint over the equal-time group: at τ = 0 a node informed within
+    // the group may forward within the group (non-stop journey).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t q = k; q < group_end; ++q) {
+        if (result.applied[q]) continue;
+        const Transmission& tx = txs[q];
+        if (std::exp(log_p[static_cast<std::size_t>(tx.relay)]) >
+            eps + 1e-12)
+          continue;  // relay not informed (yet)
+        result.applied[q] = 1;
+        progress = true;
+        for (NodeId j : tveg.graph().neighbors_at(tx.relay, tx.time)) {
+          if (j == instance.source) continue;
+          const double phi =
+              tveg.failure_probability(tx.relay, j, tx.time, tx.cost);
+          pending.push_back({tx.time + tau, j, support::safe_log(phi)});
+        }
+        if (tau <= kTimeTol) drain(t);  // same-instant delivery
+      }
+    }
+    for (std::size_t q = k; q < group_end; ++q)
+      if (!result.applied[q]) result.all_applied = false;
+    k = group_end;
+  }
+
+  drain(t_query);
+
+  result.p.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // safe_log floors log(0) at ~-691; flush those back to an exact zero so
+    // deterministic (step-channel) successes read as p = 0.
+    result.p[i] = log_p[i] <= -600.0 ? 0.0 : std::exp(log_p[i]);
+  }
+  result.p[static_cast<std::size_t>(instance.source)] = 0.0;
+  return result;
+}
+
+std::vector<double> uninformed_probabilities(const TmedbInstance& instance,
+                                             const Schedule& schedule,
+                                             Time t) {
+  return run_cascade(instance, schedule, t).p;
+}
+
+FeasibilityReport check_feasibility(const TmedbInstance& instance,
+                                    const Schedule& schedule) {
+  instance.validate();
+  const Tveg& tveg = *instance.tveg;
+  const double eps = instance.effective_epsilon();
+  const Time tau = tveg.latency();
+
+  FeasibilityReport report;
+
+  // (iii) latency.
+  report.within_deadline =
+      schedule.empty() ||
+      schedule.latest_finish(tau) <= instance.deadline + kTimeTol;
+  if (!report.within_deadline) report.reason = "transmission after deadline";
+
+  // (iv) budget.
+  report.within_budget =
+      instance.budget < 0 ||
+      schedule.total_cost() <= instance.budget + 1e-12 * instance.budget;
+  if (!report.within_budget && report.reason.empty())
+    report.reason = "cost budget exceeded";
+
+  // Cost-set membership.
+  report.costs_in_range = true;
+  for (const Transmission& tx : schedule.transmissions()) {
+    if (tx.cost < tveg.radio().w_min - 1e-15 ||
+        tx.cost > tveg.radio().w_max) {
+      report.costs_in_range = false;
+      if (report.reason.empty()) report.reason = "cost outside [w_min, w_max]";
+      break;
+    }
+  }
+
+  // (i) + (ii) in one causal cascade to the deadline: condition (i) holds
+  // iff every transmission was applied (its relay was informed when it
+  // fired), condition (ii) iff the final probabilities are all <= ε.
+  const CascadeResult cascade =
+      run_cascade(instance, schedule, instance.deadline);
+  report.relays_informed = cascade.all_applied;
+  if (!report.relays_informed && report.reason.empty())
+    report.reason = "relay forwards uninformed";
+
+  report.max_uninformed_probability = 0;
+  for (NodeId t : instance.effective_targets())
+    report.max_uninformed_probability =
+        std::max(report.max_uninformed_probability,
+                 cascade.p[static_cast<std::size_t>(t)]);
+  report.all_informed = report.max_uninformed_probability <= eps + 1e-12;
+  if (!report.all_informed && report.reason.empty())
+    report.reason = "some node remains uninformed at the deadline";
+
+  report.feasible = report.within_deadline && report.within_budget &&
+                    report.costs_in_range && report.relays_informed &&
+                    report.all_informed;
+  return report;
+}
+
+double normalized_energy(const TmedbInstance& instance,
+                         const Schedule& schedule) {
+  instance.validate();
+  const channel::RadioParams& radio = instance.tveg->radio();
+  return schedule.total_cost() /
+         (radio.noise_density * radio.gamma_linear());
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,141 @@
+// Broadcast relay schedules and the TMEDB problem instance (paper Sec. IV).
+//
+// A schedule S = [R, T, W] is a list of transmissions (relay, time, cost).
+// Feasibility (decision-version conditions i–iv):
+//   (i)   every relay is informed when it forwards (p_{r_k, t_k} <= ε),
+//   (ii)  every node is informed by the deadline,
+//   (iii) the last transmission finishes by the deadline,
+//   (iv)  the total cost is within the budget (when one is given).
+// p_{i,t} follows Eq. 6 with the arrival-time reading: a transmission at t_k
+// contributes to p_{i,t} once its traversal completes, i.e. when
+// t_k + τ <= t. (Eq. 6 writes t_k <= t and Eq. 16 writes t_k <= t_j; the two
+// only coincide at τ = 0, and the arrival reading is the physically
+// meaningful one — a relay cannot forward bits it has not yet received.)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/tveg.hpp"
+#include "tvg/types.hpp"
+
+namespace tveg::core {
+
+/// One scheduled transmission s_k = [r_k, t_k, w_k].
+struct Transmission {
+  NodeId relay;
+  Time time;
+  Cost cost;
+
+  bool operator==(const Transmission&) const = default;
+};
+
+/// An ordered (by time) broadcast relay schedule.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Appends a transmission; the schedule re-sorts lazily on access.
+  void add(NodeId relay, Time time, Cost cost);
+  void add(const Transmission& t) { add(t.relay, t.time, t.cost); }
+
+  std::size_t size() const { return txs_.size(); }
+  bool empty() const { return txs_.empty(); }
+  /// Transmissions sorted ascending by (time, relay).
+  const std::vector<Transmission>& transmissions() const;
+
+  /// Σ_k w_k (condition iv's left-hand side).
+  Cost total_cost() const;
+  /// max t_k + τ — the broadcast latency (condition iii's left-hand side).
+  Time latest_finish(Time tau) const;
+
+  /// Merges transmissions with identical (relay, time) into one at the max
+  /// cost (the cheaper one is redundant by the broadcast nature,
+  /// Property 6.1(i)).
+  void coalesce(double time_tolerance = 1e-9);
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<Transmission> txs_;
+  mutable bool sorted_ = true;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schedule& s);
+
+/// A TMEDB problem instance: TVEG + source + delay constraint + error rate
+/// (+ optional cost budget for the decision version, + optional terminal
+/// subset for the multicast generalization — the MEMT problem of [3] that
+/// Sec. VI-A reduces to is natively multicast, so the pipeline supports it
+/// for free).
+struct TmedbInstance {
+  const Tveg* tveg = nullptr;
+  NodeId source = 0;
+  /// Delay constraint T.
+  Time deadline = 0;
+  /// Acceptable failure rate ε (defaults to the TVEG radio's ε when <= 0).
+  double epsilon = -1;
+  /// Cost budget C; < 0 means "no budget" (optimization version).
+  Cost budget = -1;
+  /// Multicast terminal set; empty = broadcast (all nodes). Non-terminal
+  /// nodes may still serve as relays. The GREED/RAND baselines are
+  /// broadcast-only (the paper defines them for broadcast).
+  std::vector<NodeId> targets;
+
+  double effective_epsilon() const;
+  /// The effective terminal list: `targets`, or all nodes when empty
+  /// (source included either way — it is trivially informed).
+  std::vector<NodeId> effective_targets() const;
+  void validate() const;
+};
+
+/// Causally-sequenced cascade evaluation of a schedule (the engine behind
+/// Eq. 6). Transmissions are applied in time order; a transmission is only
+/// *applied* once its relay is informed (p <= ε) from causally earlier
+/// arrivals. Same-time transmissions are resolved to a fixpoint, which
+/// permits legal non-stop journeys at τ = 0 but rejects circular
+/// "A informs B while B informs A" schedules that a naive reading of
+/// Eq. 6 / Eq. 16 would accept.
+struct CascadeResult {
+  /// p_{i, t_query} for every node.
+  std::vector<double> p;
+  /// applied[k]: transmission k's relay was informed when it fired.
+  std::vector<char> applied;
+  /// True iff every transmission (with time + τ <= t_query) was applied.
+  bool all_applied = true;
+};
+
+/// Runs the cascade including transmissions that complete (t_k + τ) by
+/// `t_query`, and reports p_{i, t_query}.
+CascadeResult run_cascade(const TmedbInstance& instance,
+                          const Schedule& schedule, Time t_query);
+
+/// Per-node uninformed probabilities p_{i,t} under `schedule` at time t
+/// (convenience wrapper over run_cascade).
+std::vector<double> uninformed_probabilities(const TmedbInstance& instance,
+                                             const Schedule& schedule, Time t);
+
+/// Structured feasibility verdict.
+struct FeasibilityReport {
+  bool feasible = false;
+  bool relays_informed = false;   ///< condition (i)
+  bool all_informed = false;      ///< condition (ii)
+  bool within_deadline = false;   ///< condition (iii)
+  bool within_budget = false;     ///< condition (iv) (true when no budget)
+  bool costs_in_range = false;    ///< every w_k ∈ [w_min, w_max]
+  /// max_i p_{i,deadline} over all nodes.
+  double max_uninformed_probability = 1.0;
+  std::string reason;             ///< human-readable failure cause
+};
+
+/// Checks conditions (i)–(iv) of the decision version for `schedule`.
+FeasibilityReport check_feasibility(const TmedbInstance& instance,
+                                    const Schedule& schedule);
+
+/// Normalized energy of a schedule: Σ w_k / (N0 · γ_th) — total cost in
+/// units of the "threshold energy" N0·γ_th, the normalization of [14] the
+/// paper's figures use.
+double normalized_energy(const TmedbInstance& instance,
+                         const Schedule& schedule);
+
+}  // namespace tveg::core

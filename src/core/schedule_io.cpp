@@ -1,0 +1,45 @@
+#include "core/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tveg::core {
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  out << "# tveg-schedule\n";
+  out.precision(17);
+  for (const Transmission& tx : schedule.transmissions())
+    out << tx.relay << ' ' << tx.time << ' ' << tx.cost << '\n';
+}
+
+void write_schedule_file(const std::string& path, const Schedule& schedule) {
+  std::ofstream out(path);
+  TVEG_REQUIRE(out.good(), "cannot open output file: " + path);
+  write_schedule(out, schedule);
+}
+
+Schedule read_schedule(std::istream& in) {
+  Schedule schedule;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    NodeId relay;
+    Time time;
+    Cost cost;
+    if (!(is >> relay >> time >> cost))
+      TVEG_REQUIRE(false, "malformed schedule line: " + line);
+    schedule.add(relay, time, cost);
+  }
+  return schedule;
+}
+
+Schedule read_schedule_file(const std::string& path) {
+  std::ifstream in(path);
+  TVEG_REQUIRE(in.good(), "cannot open schedule file: " + path);
+  return read_schedule(in);
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,25 @@
+// Schedule serialization: lets a computed relay schedule be stored,
+// shipped to the nodes that will execute it, and re-evaluated later —
+// the artifact a deployment actually consumes.
+//
+// Format (text, comment-friendly):
+//     # tveg-schedule
+//     <relay> <time_s> <cost_joules>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace tveg::core {
+
+/// Writes `schedule` in the text format above (full double precision).
+void write_schedule(std::ostream& out, const Schedule& schedule);
+void write_schedule_file(const std::string& path, const Schedule& schedule);
+
+/// Parses a schedule; throws std::invalid_argument on malformed input.
+Schedule read_schedule(std::istream& in);
+Schedule read_schedule_file(const std::string& path);
+
+}  // namespace tveg::core

@@ -1,0 +1,53 @@
+#include "core/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+
+Time earliest_completion(const TmedbInstance& instance) {
+  TVEG_REQUIRE(instance.tveg != nullptr, "instance has no TVEG");
+  const Tveg& tveg = *instance.tveg;
+  const ArrivalInfo info = tveg.graph().earliest_arrival(instance.source, 0.0);
+  Time latest = 0;
+  for (NodeId t : instance.effective_targets())
+    latest = std::max(latest, info.arrival[static_cast<std::size_t>(t)]);
+  return latest;
+}
+
+TradeoffCurve delay_energy_tradeoff(const TmedbInstance& instance, Time from,
+                                    Time to, Time step,
+                                    const EedcbOptions& options) {
+  instance.validate();
+  TVEG_REQUIRE(from > 0 && to >= from && step > 0,
+               "invalid tradeoff sweep range");
+
+  TradeoffCurve curve;
+  curve.earliest_completion = earliest_completion(instance);
+
+  const DiscreteTimeSet dts = instance.tveg->build_dts(options.dts);
+  for (Time deadline = from; deadline <= to + 1e-9; deadline += step) {
+    TmedbInstance point_instance = instance;
+    point_instance.deadline = std::min(deadline, instance.tveg->horizon());
+
+    TradeoffPoint point;
+    point.deadline = point_instance.deadline;
+    if (point.deadline >= curve.earliest_completion) {
+      const SchedulerResult r = run_eedcb(point_instance, dts, options);
+      if (r.covered_all &&
+          check_feasibility(point_instance, r.schedule).feasible) {
+        point.feasible = true;
+        point.cost = r.schedule.total_cost();
+        point.normalized_energy =
+            normalized_energy(point_instance, r.schedule);
+        point.transmissions = r.schedule.size();
+      }
+    }
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,43 @@
+// Delay-energy tradeoff utilities: the question every figure in the paper's
+// evaluation orbits — "what does a tighter deadline cost?" — packaged as a
+// library API. Also computes the absolute floor: the earliest time a
+// broadcast can possibly complete (foremost journeys), below which no
+// deadline is feasible at any energy.
+#pragma once
+
+#include <vector>
+
+#include "core/eedcb.hpp"
+
+namespace tveg::core {
+
+/// One point of a tradeoff curve.
+struct TradeoffPoint {
+  Time deadline = 0;
+  bool feasible = false;
+  Cost cost = 0;
+  double normalized_energy = 0;
+  std::size_t transmissions = 0;
+};
+
+/// A sampled delay-energy curve.
+struct TradeoffCurve {
+  std::vector<TradeoffPoint> points;
+  /// max over targets of the foremost arrival from the source — the
+  /// smallest deadline any schedule can meet (+inf when some target is
+  /// temporally unreachable).
+  Time earliest_completion = 0;
+};
+
+/// Earliest possible broadcast completion from `source` at t = 0: the
+/// latest foremost arrival over the instance's targets (+inf if any is
+/// unreachable). Pure topology — no energy involved.
+Time earliest_completion(const TmedbInstance& instance);
+
+/// Samples EEDCB's energy at deadlines from `from` to `to` (inclusive) in
+/// steps of `step`, reusing one DTS across all points.
+TradeoffCurve delay_energy_tradeoff(const TmedbInstance& instance, Time from,
+                                    Time to, Time step,
+                                    const EedcbOptions& options = {});
+
+}  // namespace tveg::core

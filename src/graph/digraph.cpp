@@ -1,0 +1,84 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::graph {
+
+Digraph::Digraph(VertexId n) : out_(static_cast<std::size_t>(n)) {
+  TVEG_REQUIRE(n >= 0, "vertex count must be non-negative");
+}
+
+VertexId Digraph::add_vertex() {
+  out_.emplace_back();
+  return static_cast<VertexId>(out_.size() - 1);
+}
+
+void Digraph::check_vertex(VertexId v) const {
+  TVEG_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < out_.size(),
+               "vertex id out of range");
+}
+
+void Digraph::add_arc(VertexId from, VertexId to, double weight) {
+  check_vertex(from);
+  check_vertex(to);
+  TVEG_REQUIRE(weight >= 0, "arc weight must be non-negative");
+  out_[static_cast<std::size_t>(from)].push_back({to, weight});
+  ++arc_count_;
+}
+
+const std::vector<Arc>& Digraph::out(VertexId v) const {
+  check_vertex(v);
+  return out_[static_cast<std::size_t>(v)];
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(vertex_count());
+  for (VertexId v = 0; v < vertex_count(); ++v)
+    for (const Arc& a : out(v)) r.add_arc(a.to, v, a.weight);
+  return r;
+}
+
+ShortestPaths dijkstra(const Digraph& g, VertexId src) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  TVEG_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < n,
+               "source vertex out of range");
+  ShortestPaths sp;
+  sp.dist.assign(n, support::kInf);
+  sp.parent.assign(n, kNoVertex);
+  sp.dist[static_cast<std::size_t>(src)] = 0;
+
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
+    for (const Arc& a : g.out(u)) {
+      const double nd = d + a.weight;
+      if (nd < sp.dist[static_cast<std::size_t>(a.to)]) {
+        sp.dist[static_cast<std::size_t>(a.to)] = nd;
+        sp.parent[static_cast<std::size_t>(a.to)] = u;
+        pq.emplace(nd, a.to);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<VertexId> extract_path(const ShortestPaths& sp, VertexId dst) {
+  TVEG_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < sp.dist.size(),
+               "destination out of range");
+  if (sp.dist[static_cast<std::size_t>(dst)] == support::kInf) return {};
+  std::vector<VertexId> path{dst};
+  while (sp.parent[static_cast<std::size_t>(path.back())] != kNoVertex)
+    path.push_back(sp.parent[static_cast<std::size_t>(path.back())]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace tveg::graph

@@ -1,0 +1,58 @@
+// Static directed weighted graph: the substrate for the auxiliary graph of
+// Sec. VI-A and the directed Steiner tree solvers that implement the MEMT
+// reduction of Liang [3].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tveg::graph {
+
+/// Vertex identifier in a static digraph (dense 0..V-1).
+using VertexId = std::int32_t;
+
+inline constexpr VertexId kNoVertex = -1;
+
+/// One outgoing arc.
+struct Arc {
+  VertexId to;
+  double weight;
+};
+
+/// Adjacency-list digraph with non-negative arc weights.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(VertexId n);
+
+  /// Appends a vertex, returning its id.
+  VertexId add_vertex();
+  /// Adds an arc from → to with weight >= 0.
+  void add_arc(VertexId from, VertexId to, double weight);
+
+  VertexId vertex_count() const { return static_cast<VertexId>(out_.size()); }
+  std::size_t arc_count() const { return arc_count_; }
+  const std::vector<Arc>& out(VertexId v) const;
+
+  /// The reversed graph (used for distance-to-terminal preprocessing).
+  Digraph reversed() const;
+
+ private:
+  void check_vertex(VertexId v) const;
+  std::vector<std::vector<Arc>> out_;
+  std::size_t arc_count_ = 0;
+};
+
+/// Single-source shortest paths result.
+struct ShortestPaths {
+  std::vector<double> dist;       ///< +inf when unreachable
+  std::vector<VertexId> parent;   ///< kNoVertex for source/unreachable
+};
+
+/// Dijkstra from src (weights must be non-negative).
+ShortestPaths dijkstra(const Digraph& g, VertexId src);
+
+/// Vertex sequence src..dst from a ShortestPaths tree; empty if unreachable.
+std::vector<VertexId> extract_path(const ShortestPaths& sp, VertexId dst);
+
+}  // namespace tveg::graph

@@ -1,0 +1,86 @@
+// Directed Steiner tree solvers.
+//
+// TMEDB-S reduces (via the auxiliary graph of Sec. VI-A) to the directed
+// Steiner tree problem: given a root r and terminal set X, find a minimum-
+// weight out-arborescence subgraph containing a path r→x for every x ∈ X.
+// Three solvers with different cost/quality points:
+//
+//  * recursive_greedy — Charikar et al.'s level-i algorithm, the one Liang's
+//    MEMT approximation [3] builds on; level i gives ratio O(|X|^{1/i})
+//    (levels 1 and 2 implemented; the paper's O(N^ε) bound corresponds to
+//    running at level ⌈1/ε⌉).
+//  * shortest_path_heuristic — union of shortest paths root→terminal with a
+//    leaf-pruning cleanup; fast, no worst-case guarantee, strong in practice.
+//  * exact_small — Dreyfus–Wagner-style subset DP, exponential in |X|;
+//    ground truth for tests and for the approximation-ratio benches.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace tveg::graph {
+
+/// A (partial) Steiner arborescence.
+struct SteinerResult {
+  /// Tree arcs as (from, to, weight) triples; forms an out-arborescence
+  /// rooted at the query root when feasible.
+  struct TreeArc {
+    VertexId from;
+    VertexId to;
+    double weight;
+  };
+  std::vector<TreeArc> arcs;
+  double cost = 0;
+  /// True iff every terminal is reachable in the tree.
+  bool feasible = false;
+};
+
+/// Directed Steiner solver bound to one digraph; caches single-source
+/// shortest-path trees across queries.
+class SteinerSolver {
+ public:
+  explicit SteinerSolver(const Digraph& g);
+
+  /// Union of shortest paths to each terminal, then non-terminal leaves are
+  /// pruned. O(|X|·SP) after one Dijkstra from the root.
+  SteinerResult shortest_path_heuristic(VertexId root,
+                                        const std::vector<VertexId>& terminals);
+
+  /// Charikar recursive greedy at the given level (1 or 2; higher levels
+  /// clamp to 2). Level 1 equals the shortest-path bunch; level 2 selects
+  /// intermediate roots by best density.
+  SteinerResult recursive_greedy(VertexId root,
+                                 const std::vector<VertexId>& terminals,
+                                 int level);
+
+  /// Exact subset DP (Dreyfus–Wagner adapted to digraphs); |terminals| must
+  /// be <= 16 and the graph reasonably small (3^k·V time, V² distance
+  /// storage). Returns the optimal arborescence *with* its arcs.
+  SteinerResult exact_small(VertexId root,
+                            const std::vector<VertexId>& terminals);
+
+  /// Validates that `r` is an arborescence rooted at `root` covering all
+  /// terminals with arcs that exist in the graph; used by tests.
+  bool validate(const SteinerResult& r, VertexId root,
+                const std::vector<VertexId>& terminals) const;
+
+ private:
+  const ShortestPaths& forward_from(VertexId v);
+
+  /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the
+  /// terminal set of the current recursive_greedy query.
+  std::vector<std::vector<double>> dist_to_term_;
+
+  struct GreedyState;
+  void greedy_cover(GreedyState& state, VertexId v, int level,
+                    std::size_t want);
+
+  const Digraph& g_;
+  Digraph reversed_;
+  std::unordered_map<VertexId, ShortestPaths> forward_cache_;
+};
+
+}  // namespace tveg::graph

@@ -1,0 +1,124 @@
+#include "nlp/augmented_lagrangian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tveg::nlp {
+
+namespace {
+
+/// Augmented-Lagrangian value for inequality constraints (Rockafellar form):
+///   L(w) = f(w) + Σ_j ψ(g_j(w); λ_j, μ)
+/// with ψ(g; λ, μ) = λg + μg²/2 when g >= -λ/μ, else -λ²/(2μ).
+double augmented_value(const NlpProblem& p, const std::vector<double>& w,
+                       const std::vector<double>& lambda, double mu) {
+  double value = p.objective(w);
+  for (std::size_t j = 0; j < p.constraint_count(); ++j) {
+    const double g = p.constraint(j, w);
+    if (g >= -lambda[j] / mu) {
+      value += lambda[j] * g + 0.5 * mu * g * g;
+    } else {
+      value -= lambda[j] * lambda[j] / (2.0 * mu);
+    }
+  }
+  return value;
+}
+
+std::vector<double> augmented_gradient(const NlpProblem& p,
+                                       const std::vector<double>& w,
+                                       const std::vector<double>& lambda,
+                                       double mu) {
+  std::vector<double> grad = p.objective_gradient(w);
+  for (std::size_t j = 0; j < p.constraint_count(); ++j) {
+    const double g = p.constraint(j, w);
+    if (g >= -lambda[j] / mu) {
+      const double coeff = lambda[j] + mu * g;
+      const std::vector<double> cg = p.constraint_gradient(j, w);
+      for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += coeff * cg[i];
+    }
+  }
+  return grad;
+}
+
+}  // namespace
+
+NlpResult solve_augmented_lagrangian(const NlpProblem& problem,
+                                     std::vector<double> w0,
+                                     const AugmentedLagrangianOptions& opt) {
+  const std::size_t n = problem.dimension();
+  TVEG_REQUIRE(w0.size() == n, "starting point has wrong dimension");
+  problem.project_box(w0);
+
+  std::vector<double> lambda(problem.constraint_count(), 0.0);
+  double mu = opt.initial_penalty;
+
+  NlpResult result;
+  result.w = std::move(w0);
+  double previous_violation = problem.max_violation(result.w);
+
+  for (std::size_t outer = 0; outer < opt.max_outer_iterations; ++outer) {
+    ++result.outer_iterations;
+
+    // Inner: projected gradient descent on the augmented Lagrangian.
+    double step = 1.0;
+    for (std::size_t inner = 0; inner < opt.max_inner_iterations; ++inner) {
+      ++result.inner_iterations;
+      const std::vector<double> grad =
+          augmented_gradient(problem, result.w, lambda, mu);
+      const double value = augmented_value(problem, result.w, lambda, mu);
+
+      // Projected-gradient stationarity measure.
+      double pg_norm = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double trial =
+            std::clamp(result.w[i] - grad[i], problem.lower(i),
+                       problem.upper(i));
+        const double d = trial - result.w[i];
+        pg_norm += d * d;
+      }
+      if (std::sqrt(pg_norm) < opt.gradient_tolerance) break;
+
+      // Backtracking Armijo line search along the projected direction.
+      bool accepted = false;
+      double local_step = step;
+      for (std::size_t bt = 0; bt < opt.max_backtracks; ++bt) {
+        std::vector<double> trial(n);
+        double descent = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          trial[i] = std::clamp(result.w[i] - local_step * grad[i],
+                                problem.lower(i), problem.upper(i));
+          descent += grad[i] * (result.w[i] - trial[i]);
+        }
+        const double trial_value =
+            augmented_value(problem, trial, lambda, mu);
+        if (trial_value <= value - opt.armijo_c * descent) {
+          result.w = std::move(trial);
+          step = local_step * 1.5;  // be a little more ambitious next time
+          accepted = true;
+          break;
+        }
+        local_step *= opt.backtrack_factor;
+      }
+      if (!accepted) break;  // no acceptable step: inner converged
+    }
+
+    // Multiplier update and penalty growth.
+    const double violation = problem.max_violation(result.w);
+    for (std::size_t j = 0; j < problem.constraint_count(); ++j) {
+      const double g = problem.constraint(j, result.w);
+      lambda[j] = std::max(0.0, lambda[j] + mu * g);
+    }
+    if (violation <= opt.feasibility_tolerance) break;
+    if (violation > 0.5 * previous_violation) mu *= opt.penalty_growth;
+    previous_violation = violation;
+  }
+
+  result.objective = problem.objective(result.w);
+  result.max_violation = problem.max_violation(result.w);
+  result.feasible = result.max_violation <= opt.feasibility_tolerance * 10;
+  return result;
+}
+
+}  // namespace tveg::nlp

@@ -1,0 +1,45 @@
+// Augmented-Lagrangian solver for box-constrained inequality NLPs — the
+// "existing methods [19]" the paper leans on for Eq. 14–17. Inner problem is
+// solved by projected gradient descent with backtracking (Armijo) line
+// search; outer loop updates multipliers and grows the penalty when the
+// infeasibility fails to shrink.
+#pragma once
+
+#include <vector>
+
+#include "nlp/problem.hpp"
+
+namespace tveg::nlp {
+
+/// Solver knobs.
+struct AugmentedLagrangianOptions {
+  std::size_t max_outer_iterations = 40;
+  std::size_t max_inner_iterations = 400;
+  double initial_penalty = 1.0;
+  double penalty_growth = 4.0;
+  /// Outer stop: max constraint violation below this.
+  double feasibility_tolerance = 1e-8;
+  /// Inner stop: projected-gradient norm below this.
+  double gradient_tolerance = 1e-10;
+  /// Armijo parameters.
+  double armijo_c = 1e-4;
+  double backtrack_factor = 0.5;
+  std::size_t max_backtracks = 60;
+};
+
+/// Result of one solve.
+struct NlpResult {
+  std::vector<double> w;
+  double objective = 0;
+  double max_violation = 0;
+  std::size_t outer_iterations = 0;
+  std::size_t inner_iterations = 0;
+  bool feasible = false;
+};
+
+/// Minimizes `problem` starting from `w0` (projected into the box).
+NlpResult solve_augmented_lagrangian(
+    const NlpProblem& problem, std::vector<double> w0,
+    const AugmentedLagrangianOptions& options = {});
+
+}  // namespace tveg::nlp

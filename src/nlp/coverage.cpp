@@ -1,0 +1,198 @@
+#include "nlp/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace tveg::nlp {
+
+using support::kInf;
+using support::safe_log;
+
+namespace {
+
+void check_inputs(std::size_t tx_count,
+                  const std::vector<CoverageConstraint>& constraints,
+                  double epsilon, Cost w_min, Cost w_max) {
+  TVEG_REQUIRE(epsilon > 0 && epsilon < 1, "epsilon must lie in (0, 1)");
+  TVEG_REQUIRE(w_min >= 0 && w_max > w_min, "invalid cost bounds");
+  for (const auto& c : constraints) {
+    TVEG_REQUIRE(!c.terms.empty(), "coverage constraint with no terms");
+    for (const auto& term : c.terms) {
+      TVEG_REQUIRE(term.tx < tx_count, "coverage term tx out of range");
+      TVEG_REQUIRE(term.ed != nullptr, "coverage term with null ED-function");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Cost> independent_allocation(
+    std::size_t tx_count, const std::vector<CoverageConstraint>& constraints,
+    double epsilon, Cost w_min, Cost w_max) {
+  check_inputs(tx_count, constraints, epsilon, w_min, w_max);
+  std::vector<Cost> w(tx_count, w_min);
+  for (const auto& c : constraints) {
+    // Serve this receiver entirely through its cheapest covering tx.
+    std::size_t best_tx = c.terms.front().tx;
+    Cost best_cost = kInf;
+    for (const auto& term : c.terms) {
+      const Cost need = term.ed->min_cost_for(epsilon);
+      if (need < best_cost) {
+        best_cost = need;
+        best_tx = term.tx;
+      }
+    }
+    w[best_tx] = std::clamp(std::max(w[best_tx], best_cost), w_min, w_max);
+  }
+  return w;
+}
+
+AllocationResult allocate_coordinate_descent(
+    std::size_t tx_count, const std::vector<CoverageConstraint>& constraints,
+    double epsilon, Cost w_min, Cost w_max,
+    const CoordinateDescentOptions& options) {
+  check_inputs(tx_count, constraints, epsilon, w_min, w_max);
+  const double log_eps = std::log(epsilon);
+
+  AllocationResult result;
+  result.w = independent_allocation(tx_count, constraints, epsilon, w_min,
+                                    w_max);
+
+  // Constraints touching each transmission.
+  std::vector<std::vector<std::size_t>> touching(tx_count);
+  for (std::size_t j = 0; j < constraints.size(); ++j)
+    for (const auto& term : constraints[j].terms)
+      touching[term.tx].push_back(j);
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    double max_rel_change = 0;
+
+    for (std::size_t k = 0; k < tx_count; ++k) {
+      if (touching[k].empty()) {
+        result.w[k] = w_min;
+        continue;
+      }
+      // Smallest w_k satisfying every constraint that contains k, with the
+      // other coordinates fixed.
+      Cost need = w_min;
+      for (std::size_t j : touching[k]) {
+        double sum_others = 0;
+        const channel::EdFunction* my_ed = nullptr;
+        for (const auto& term : constraints[j].terms) {
+          if (term.tx == k) {
+            my_ed = term.ed;
+          } else {
+            sum_others +=
+                safe_log(term.ed->failure_probability(result.w[term.tx]));
+          }
+        }
+        TVEG_ASSERT(my_ed != nullptr);
+        const double target_log = log_eps - sum_others;
+        if (target_log >= 0) continue;  // others already satisfy receiver j
+        need = std::max(need, my_ed->min_cost_for(std::exp(target_log)));
+      }
+      need = std::clamp(need, w_min, w_max);
+      const double denom = std::max({result.w[k], need, 1e-300});
+      max_rel_change =
+          std::max(max_rel_change, std::fabs(result.w[k] - need) / denom);
+      result.w[k] = need;
+    }
+
+    if (max_rel_change <= options.relative_tolerance) break;
+  }
+
+  result.total = 0;
+  for (Cost w : result.w) result.total += w;
+
+  result.feasible = true;
+  for (const auto& c : constraints) {
+    double log_prod = 0;
+    for (const auto& term : c.terms)
+      log_prod += safe_log(term.ed->failure_probability(result.w[term.tx]));
+    if (log_prod > std::log(epsilon) + 1e-6) {
+      result.feasible = false;
+      break;
+    }
+  }
+  return result;
+}
+
+EnergyAllocationProblem::EnergyAllocationProblem(
+    std::size_t tx_count, std::vector<CoverageConstraint> constraints,
+    double epsilon, Cost w_min, Cost w_max)
+    : tx_count_(tx_count),
+      constraints_(std::move(constraints)),
+      log_epsilon_(std::log(epsilon)),
+      w_min_(w_min),
+      w_max_(w_max) {
+  check_inputs(tx_count_, constraints_, epsilon, w_min_, w_max_);
+  // Characteristic cost: the largest single-hop ε-cost over all terms makes
+  // solver-space variables O(1).
+  scale_ = 0;
+  for (const auto& c : constraints_)
+    for (const auto& term : c.terms) {
+      const Cost need = term.ed->min_cost_for(epsilon);
+      if (need < kInf) scale_ = std::max(scale_, need);
+    }
+  if (scale_ <= 0) scale_ = 1;
+}
+
+double EnergyAllocationProblem::lower(std::size_t) const {
+  return w_min_ / scale_;
+}
+
+double EnergyAllocationProblem::upper(std::size_t) const {
+  return w_max_ == kInf ? kInf : w_max_ / scale_;
+}
+
+double EnergyAllocationProblem::objective(const std::vector<double>& x) const {
+  double sum = 0;
+  for (double v : x) sum += v;
+  return sum;  // Σ w / scale — same minimizer as Σ w
+}
+
+std::vector<double> EnergyAllocationProblem::objective_gradient(
+    const std::vector<double>& x) const {
+  return std::vector<double>(x.size(), 1.0);
+}
+
+double EnergyAllocationProblem::constraint(std::size_t j,
+                                           const std::vector<double>& x) const {
+  double log_prod = 0;
+  for (const auto& term : constraints_[j].terms)
+    log_prod += safe_log(term.ed->failure_probability(x[term.tx] * scale_));
+  return log_prod - log_epsilon_;
+}
+
+std::vector<double> EnergyAllocationProblem::constraint_gradient(
+    std::size_t j, const std::vector<double>& x) const {
+  std::vector<double> grad(tx_count_, 0.0);
+  for (const auto& term : constraints_[j].terms) {
+    const Cost w = x[term.tx] * scale_;
+    const double phi = term.ed->failure_probability(w);
+    if (w <= 0 || phi <= 0) continue;  // flat or already perfect
+    // d/dx ln φ(x·scale) = φ'(w)·scale / φ(w).
+    grad[term.tx] += term.ed->failure_derivative(w) * scale_ / phi;
+  }
+  return grad;
+}
+
+std::vector<Cost> EnergyAllocationProblem::to_costs(
+    const std::vector<double>& x) const {
+  std::vector<Cost> w(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) w[i] = x[i] * scale_;
+  return w;
+}
+
+std::vector<double> EnergyAllocationProblem::from_costs(
+    const std::vector<Cost>& w) const {
+  std::vector<double> x(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) x[i] = w[i] / scale_;
+  return x;
+}
+
+}  // namespace tveg::nlp

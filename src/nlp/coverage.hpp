@@ -1,0 +1,107 @@
+// The optimal-energy-allocation problem of FR-EEDCB (paper Eq. 14–17),
+// expressed over "coverage constraints".
+//
+// After backbone selection the schedule's relays and times are fixed; what
+// remains is choosing the cost w_k of every transmission k so that, for each
+// node j, the product of failure probabilities over the transmissions that
+// reach j is at most ε:
+//
+//     min Σ_k w_k   s.t.  Σ_{k covering j} ln φ_{k,j}(w_k) <= ln ε  ∀j,
+//                         w_min <= w_k <= w_max.
+//
+// Two solvers: a monotone coordinate descent exploiting the closed-form
+// per-coordinate minimum (each pass can only lower the objective), and the
+// generic augmented-Lagrangian path via EnergyAllocationProblem for
+// cross-checking and for ED-functions without a cheap inverse.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "channel/ed_function.hpp"
+#include "nlp/problem.hpp"
+#include "tvg/types.hpp"
+
+namespace tveg::nlp {
+
+/// One term of a coverage constraint: transmission `tx` reaches the
+/// constrained receiver through ED-function `ed` (not owned; must outlive
+/// the allocation call).
+struct CoverageTerm {
+  std::size_t tx;
+  const channel::EdFunction* ed;
+};
+
+/// One receiver's constraint: Π_terms φ(w_tx) <= ε.
+struct CoverageConstraint {
+  std::vector<CoverageTerm> terms;
+};
+
+/// Result of an allocation solve.
+struct AllocationResult {
+  std::vector<Cost> w;
+  Cost total = 0;
+  bool feasible = false;
+  std::size_t passes = 0;
+};
+
+/// Options for the coordinate-descent solver.
+struct CoordinateDescentOptions {
+  std::size_t max_passes = 200;
+  /// Stop when no coordinate moves by more than this relative amount.
+  double relative_tolerance = 1e-10;
+};
+
+/// Starting point: every receiver is served at level ε by its single
+/// cheapest covering transmission (ignores cross-coverage). Always feasible
+/// when w_max permits.
+std::vector<Cost> independent_allocation(
+    std::size_t tx_count, const std::vector<CoverageConstraint>& constraints,
+    double epsilon, Cost w_min, Cost w_max);
+
+/// Monotone coordinate descent from the independent allocation: each sweep
+/// sets w_k to the smallest value satisfying all of k's constraints given
+/// the other coordinates (closed form via EdFunction::min_cost_for). The
+/// objective is non-increasing across sweeps; converges to a KKT point of
+/// this monotone program.
+AllocationResult allocate_coordinate_descent(
+    std::size_t tx_count, const std::vector<CoverageConstraint>& constraints,
+    double epsilon, Cost w_min, Cost w_max,
+    const CoordinateDescentOptions& options = {});
+
+/// Eq. 14–17 as a generic NlpProblem (for solve_augmented_lagrangian).
+/// Variables are internally rescaled by a characteristic cost so the solver
+/// sees O(1) magnitudes regardless of the physical energy scale.
+class EnergyAllocationProblem final : public NlpProblem {
+ public:
+  EnergyAllocationProblem(std::size_t tx_count,
+                          std::vector<CoverageConstraint> constraints,
+                          double epsilon, Cost w_min, Cost w_max);
+
+  std::size_t dimension() const override { return tx_count_; }
+  double lower(std::size_t i) const override;
+  double upper(std::size_t i) const override;
+  double objective(const std::vector<double>& x) const override;
+  std::vector<double> objective_gradient(
+      const std::vector<double>& x) const override;
+  std::size_t constraint_count() const override { return constraints_.size(); }
+  double constraint(std::size_t j, const std::vector<double>& x) const override;
+  std::vector<double> constraint_gradient(
+      std::size_t j, const std::vector<double>& x) const override;
+
+  /// The internal variable scale (physical cost per solver unit).
+  Cost scale() const { return scale_; }
+  /// Converts solver-space variables to physical costs.
+  std::vector<Cost> to_costs(const std::vector<double>& x) const;
+  /// Converts physical costs to solver-space variables.
+  std::vector<double> from_costs(const std::vector<Cost>& w) const;
+
+ private:
+  std::size_t tx_count_;
+  std::vector<CoverageConstraint> constraints_;
+  double log_epsilon_;
+  Cost w_min_, w_max_;
+  Cost scale_;
+};
+
+}  // namespace tveg::nlp

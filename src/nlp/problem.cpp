@@ -1,0 +1,19 @@
+#include "nlp/problem.hpp"
+
+#include <algorithm>
+
+namespace tveg::nlp {
+
+double NlpProblem::max_violation(const std::vector<double>& w) const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < constraint_count(); ++j)
+    worst = std::max(worst, constraint(j, w));
+  return worst;
+}
+
+void NlpProblem::project_box(std::vector<double>& w) const {
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = std::clamp(w[i], lower(i), upper(i));
+}
+
+}  // namespace tveg::nlp

@@ -1,0 +1,46 @@
+// Generic smooth box-constrained nonlinear program with inequality
+// constraints, the abstraction behind the optimal-energy-allocation step of
+// FR-EEDCB (paper Eq. 14–17):
+//
+//     min f(w)   s.t.  g_j(w) <= 0  ∀j,   lower_i <= w_i <= upper_i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tveg::nlp {
+
+/// Abstract NLP description consumed by the solvers in this module.
+class NlpProblem {
+ public:
+  virtual ~NlpProblem() = default;
+
+  /// Number of decision variables.
+  virtual std::size_t dimension() const = 0;
+  /// Box bounds for variable i.
+  virtual double lower(std::size_t i) const = 0;
+  virtual double upper(std::size_t i) const = 0;
+
+  /// Objective f(w).
+  virtual double objective(const std::vector<double>& w) const = 0;
+  /// ∇f(w).
+  virtual std::vector<double> objective_gradient(
+      const std::vector<double>& w) const = 0;
+
+  /// Number of inequality constraints g_j(w) <= 0.
+  virtual std::size_t constraint_count() const = 0;
+  /// g_j(w); feasible iff <= 0.
+  virtual double constraint(std::size_t j,
+                            const std::vector<double>& w) const = 0;
+  /// ∇g_j(w).
+  virtual std::vector<double> constraint_gradient(
+      std::size_t j, const std::vector<double>& w) const = 0;
+
+  /// Max_j g_j(w)+ : zero iff w is feasible (helper, non-virtual).
+  double max_violation(const std::vector<double>& w) const;
+
+  /// Clamps w into the box in place (helper, non-virtual).
+  void project_box(std::vector<double>& w) const;
+};
+
+}  // namespace tveg::nlp

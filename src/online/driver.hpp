@@ -1,0 +1,32 @@
+// Online broadcast driver: replays the TVEG's event timeline and offers
+// each informed node a transmission opportunity at every event time,
+// consulting a Policy (which sees only the present). Produces the same
+// SchedulerResult the offline schedulers do, so the whole evaluation stack
+// (feasibility checking, NLP allocation, Monte-Carlo delivery) composes.
+#pragma once
+
+#include "core/eedcb.hpp"
+#include "online/policy.hpp"
+#include "tvg/dts.hpp"
+
+namespace tveg::online {
+
+/// Options for one online run.
+struct OnlineOptions {
+  /// RNG seed (gossip draws).
+  std::uint64_t seed = 1;
+  DtsOptions dts;
+};
+
+/// Runs `policy` over the instance's event timeline. The policy is reset
+/// first. Broadcast-only (multicast target subsets are an offline notion).
+core::SchedulerResult run_online(const core::TmedbInstance& instance,
+                                 Policy& policy,
+                                 const OnlineOptions& options = {});
+
+/// As above over a caller-provided DTS.
+core::SchedulerResult run_online(const core::TmedbInstance& instance,
+                                 const DiscreteTimeSet& dts, Policy& policy,
+                                 const OnlineOptions& options = {});
+
+}  // namespace tveg::online

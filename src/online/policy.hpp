@@ -1,0 +1,97 @@
+// Online broadcast policies: what a *deployed* node can actually run.
+//
+// The paper's schedulers are offline oracles — they see the whole TVEG,
+// future contacts included. An online policy sees only the present: "I hold
+// the packet, it is time t, these currently-uninformed neighbors are in
+// range at these costs." The gap between the two quantifies the value of
+// future knowledge (bench/online_vs_offline).
+//
+// A policy answers one question per opportunity: cover how many of the
+// cheapest currently-uninformed neighbors right now? (0 = wait for a better
+// moment.) The driver (online/driver.hpp) charges the minimal sufficient
+// discrete-cost-set level, exactly like the offline baselines.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/tveg.hpp"
+#include "support/rng.hpp"
+
+namespace tveg::online {
+
+/// What a relay sees at a transmission opportunity.
+struct Observation {
+  NodeId relay;
+  Time now;
+  /// The broadcast's delay constraint and when the packet was born (t = 0).
+  Time deadline;
+  /// Currently-uninformed adjacent nodes, ascending by required cost.
+  const std::vector<core::DcsEntry>& uninformed;
+  /// Total adjacent nodes (including already-informed ones).
+  std::size_t neighbors_total;
+};
+
+/// Interface for online relay policies.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const char* name() const = 0;
+  /// How many of the cheapest uninformed neighbors to cover now (0 = wait,
+  /// clamped to uninformed.size() by the driver).
+  virtual std::size_t coverage(const Observation& obs, support::Rng& rng) = 0;
+  /// Called once per run before any opportunity.
+  virtual void reset() {}
+};
+
+/// Epidemic flooding: transmit to every uninformed neighbor at the first
+/// opportunity. Fastest dissemination, highest energy.
+class EpidemicPolicy final : public Policy {
+ public:
+  const char* name() const override { return "epidemic"; }
+  std::size_t coverage(const Observation& obs, support::Rng&) override {
+    return obs.uninformed.size();
+  }
+};
+
+/// Deadline-aware thresholding: early in the budget, transmit only when the
+/// opportunity is "good" (at least min_targets uninformed neighbors in one
+/// shot — amortizing the broadcast advantage); once the remaining time
+/// fraction drops below `urgency`, transmit unconditionally.
+class DeadlineAwarePolicy final : public Policy {
+ public:
+  explicit DeadlineAwarePolicy(std::size_t min_targets, double urgency = 0.3)
+      : min_targets_(min_targets), urgency_(urgency) {}
+  const char* name() const override { return "deadline-aware"; }
+  std::size_t coverage(const Observation& obs, support::Rng&) override {
+    const double remaining_fraction =
+        obs.deadline > 0 ? (obs.deadline - obs.now) / obs.deadline : 0.0;
+    if (remaining_fraction <= urgency_) return obs.uninformed.size();
+    return obs.uninformed.size() >= min_targets_ ? obs.uninformed.size() : 0;
+  }
+
+ private:
+  std::size_t min_targets_;
+  double urgency_;
+};
+
+/// Probabilistic gossip: forward with probability p per opportunity
+/// (always, once the urgency window is reached).
+class GossipPolicy final : public Policy {
+ public:
+  explicit GossipPolicy(double p, double urgency = 0.2)
+      : p_(p), urgency_(urgency) {}
+  const char* name() const override { return "gossip"; }
+  std::size_t coverage(const Observation& obs, support::Rng& rng) override {
+    const double remaining_fraction =
+        obs.deadline > 0 ? (obs.deadline - obs.now) / obs.deadline : 0.0;
+    if (remaining_fraction <= urgency_) return obs.uninformed.size();
+    return rng.bernoulli(p_) ? obs.uninformed.size() : 0;
+  }
+
+ private:
+  double p_;
+  double urgency_;
+};
+
+}  // namespace tveg::online

@@ -1,0 +1,200 @@
+#include "sim/monte_carlo.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tveg::sim {
+
+using support::kInf;
+
+namespace {
+
+/// Per-trial channel/topology state.
+struct TrialState {
+  const core::Tveg& tveg;
+  const McOptions& options;
+  support::Rng& rng;
+  /// edge_up[e]: the edge exists this trial (presence_reliability draw).
+  std::vector<char> edge_up;
+
+  TrialState(const core::Tveg& t, const McOptions& o, support::Rng& r)
+      : tveg(t), options(o), rng(r) {
+    if (options.presence_reliability < 1.0) {
+      edge_up.resize(tveg.graph().edge_count());
+      for (auto& up : edge_up)
+        up = rng.bernoulli(options.presence_reliability) ? 1 : 0;
+    }
+  }
+
+  bool edge_alive(NodeId a, NodeId b) const {
+    if (edge_up.empty()) return true;
+    const std::size_t e = tveg.graph().edge_id(a, b);
+    return e != static_cast<std::size_t>(-1) && edge_up[e];
+  }
+};
+
+/// One trial without interference: equal-time groups run to a fixpoint
+/// (non-stop journeys at τ = 0 are legal), each transmission draws its
+/// channel once.
+std::size_t run_trial_plain(const std::vector<core::Transmission>& txs,
+                            NodeId source, TrialState& state,
+                            std::vector<Time>& informed_at) {
+  const core::Tveg& tveg = state.tveg;
+  const Time tau = tveg.latency();
+  informed_at.assign(informed_at.size(), kInf);
+  // The source has held the packet "since before time began".
+  informed_at[static_cast<std::size_t>(source)] = -1.0;
+
+  std::vector<char> fired(txs.size(), 0);
+  std::size_t group_begin = 0;
+  while (group_begin < txs.size()) {
+    std::size_t group_end = group_begin + 1;
+    while (group_end < txs.size() &&
+           txs[group_end].time - txs[group_begin].time <= 1e-9)
+      ++group_end;
+
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t k = group_begin; k < group_end; ++k) {
+        if (fired[k]) continue;
+        const core::Transmission& tx = txs[k];
+        if (informed_at[static_cast<std::size_t>(tx.relay)] > tx.time + 1e-9)
+          continue;  // relay does not hold the packet (yet)
+        fired[k] = 1;
+        progress = true;
+        for (NodeId j : tveg.graph().neighbors_at(tx.relay, tx.time)) {
+          if (!state.edge_alive(tx.relay, j)) continue;
+          if (informed_at[static_cast<std::size_t>(j)] <= tx.time + tau)
+            continue;
+          const double phi =
+              tveg.failure_probability(tx.relay, j, tx.time, tx.cost);
+          if (!state.rng.bernoulli(phi))
+            informed_at[static_cast<std::size_t>(j)] = tx.time + tau;
+        }
+      }
+    }
+    group_begin = group_end;
+  }
+
+  std::size_t informed = 0;
+  for (Time t : informed_at)
+    if (t < kInf) ++informed;
+  return informed;
+}
+
+/// One trial with interference: only relays informed strictly before the
+/// group may transmit; a receiver in range of two or more of the group's
+/// active relays decodes nothing.
+std::size_t run_trial_interference(const std::vector<core::Transmission>& txs,
+                                   NodeId source, TrialState& state,
+                                   std::vector<Time>& informed_at) {
+  const core::Tveg& tveg = state.tveg;
+  const Time tau = tveg.latency();
+  const auto n = informed_at.size();
+  informed_at.assign(n, kInf);
+  // The source has held the packet "since before time began".
+  informed_at[static_cast<std::size_t>(source)] = -1.0;
+
+  std::vector<int> heard(n, 0);
+  std::size_t group_begin = 0;
+  while (group_begin < txs.size()) {
+    const Time t = txs[group_begin].time;
+    std::size_t group_end = group_begin + 1;
+    while (group_end < txs.size() && txs[group_end].time - t <= 1e-9)
+      ++group_end;
+
+    // Active relays: informed strictly before this instant (no same-time
+    // receive-and-forward under the interference model). With τ > 0 an
+    // arrival exactly at t came from a strictly earlier transmission, so it
+    // also qualifies.
+    std::vector<std::size_t> active;
+    for (std::size_t k = group_begin; k < group_end; ++k) {
+      const Time ia = informed_at[static_cast<std::size_t>(txs[k].relay)];
+      if (ia < t - 1e-9 || (tau > 1e-9 && ia <= t + 1e-9)) active.push_back(k);
+    }
+
+    // Count concurrent signals per potential receiver.
+    std::fill(heard.begin(), heard.end(), 0);
+    for (std::size_t k : active)
+      for (NodeId j : tveg.graph().neighbors_at(txs[k].relay, t))
+        if (state.edge_alive(txs[k].relay, j))
+          ++heard[static_cast<std::size_t>(j)];
+
+    for (std::size_t k : active) {
+      const core::Transmission& tx = txs[k];
+      for (NodeId j : tveg.graph().neighbors_at(tx.relay, t)) {
+        const auto ji = static_cast<std::size_t>(j);
+        if (!state.edge_alive(tx.relay, j)) continue;
+        if (heard[ji] >= 2) continue;  // collision
+        if (informed_at[ji] <= t + tau) continue;
+        const double phi = tveg.failure_probability(tx.relay, j, t, tx.cost);
+        if (!state.rng.bernoulli(phi)) informed_at[ji] = t + tau;
+      }
+    }
+    group_begin = group_end;
+  }
+
+  std::size_t informed = 0;
+  for (Time x : informed_at)
+    if (x < kInf) ++informed;
+  return informed;
+}
+
+}  // namespace
+
+DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
+                                const core::Schedule& schedule,
+                                const McOptions& options) {
+  TVEG_REQUIRE(options.trials > 0, "need at least one trial");
+  TVEG_REQUIRE(source >= 0 && source < tveg.node_count(),
+               "source out of range");
+  TVEG_REQUIRE(options.presence_reliability > 0 &&
+                   options.presence_reliability <= 1,
+               "presence reliability must lie in (0, 1]");
+  const auto& txs = schedule.transmissions();
+  const auto n = static_cast<double>(tveg.node_count());
+
+  std::vector<double> ratios(options.trials);
+  std::atomic<std::size_t> full_count{0};
+
+  auto trial = [&](std::size_t i) {
+    support::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    TrialState state(tveg, options, rng);
+    std::vector<Time> informed_at(static_cast<std::size_t>(tveg.node_count()));
+    const std::size_t informed =
+        options.model_interference
+            ? run_trial_interference(txs, source, state, informed_at)
+            : run_trial_plain(txs, source, state, informed_at);
+    ratios[i] = static_cast<double>(informed) / n;
+    if (informed == static_cast<std::size_t>(tveg.node_count()))
+      full_count.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if (options.parallel) {
+    support::parallel_for(0, options.trials, trial);
+  } else {
+    for (std::size_t i = 0; i < options.trials; ++i) trial(i);
+  }
+
+  support::RunningStat stat;
+  for (double r : ratios) stat.add(r);
+
+  DeliveryStats out;
+  out.trials = options.trials;
+  out.mean_delivery_ratio = stat.mean();
+  out.stddev_delivery_ratio = stat.stddev();
+  out.full_delivery_fraction =
+      static_cast<double>(full_count.load()) /
+      static_cast<double>(options.trials);
+  return out;
+}
+
+}  // namespace tveg::sim

@@ -1,0 +1,57 @@
+// Checked assertions and input validation used throughout the library.
+//
+// TVEG_ASSERT  — internal invariant; compiled in all build types because the
+//                algorithms here are combinatorial and cheap relative to the
+//                cost of silently corrupt schedules.
+// TVEG_REQUIRE — precondition on user-supplied input; throws
+//                std::invalid_argument with a descriptive message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tveg::support {
+
+/// Thrown when an internal invariant is violated (a library bug).
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace tveg::support
+
+#define TVEG_ASSERT(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::tveg::support::detail::assert_fail(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define TVEG_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::tveg::support::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define TVEG_REQUIRE(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::tveg::support::detail::require_fail(#expr, (msg));         \
+  } while (0)

@@ -1,0 +1,41 @@
+// Small numeric helpers shared across modules: tolerant floating-point
+// comparison (time points are doubles produced by +τ arithmetic), dB
+// conversions, and safe logs for probability products.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace tveg::support {
+
+/// Absolute-plus-relative tolerance comparison suitable for the time and
+/// energy magnitudes used throughout (seconds in [0, 1e5], joules ≥ 1e-21).
+inline bool almost_equal(double a, double b, double abs_tol = 1e-9,
+                         double rel_tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+inline bool almost_leq(double a, double b, double abs_tol = 1e-9,
+                       double rel_tol = 1e-9) {
+  return a <= b || almost_equal(a, b, abs_tol, rel_tol);
+}
+
+/// Converts a ratio expressed in decibels to linear scale.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear ratio to decibels.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// log(p) clamped so that p == 0 yields a large negative number instead of
+/// -inf; keeps probability-product accumulations NaN-free.
+inline double safe_log(double p) {
+  constexpr double kFloor = 1e-300;
+  return std::log(p < kFloor ? kFloor : p);
+}
+
+/// Positive infinity shorthand.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace tveg::support

@@ -1,0 +1,35 @@
+// Plain-text table / CSV emission for the benchmark harness: every figure
+// bench prints the same rows/series the paper reports, in a form that is
+// both human-readable and trivially machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tveg::support {
+
+/// Column-aligned text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Writes an aligned, boxed text rendering.
+  void print(std::ostream& os) const;
+  /// Writes RFC-4180-ish CSV (no embedded quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tveg::support

@@ -1,0 +1,95 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace tveg::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t lo = begin + chunk * n / chunks;
+    const std::size_t hi = begin + (chunk + 1) * n / chunks;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1) == 1) {
+      std::lock_guard lock(done_mutex);
+      done_cv.notify_one();
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t chunk = 1; chunk < chunks; ++chunk)
+      tasks_.push([run_chunk, chunk] { run_chunk(chunk); });
+  }
+  cv_.notify_all();
+  run_chunk(0);  // calling thread takes the first chunk
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+}  // namespace tveg::support

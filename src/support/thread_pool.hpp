@@ -1,0 +1,55 @@
+// Minimal work-stealing-free thread pool with a blocking parallel_for.
+//
+// Used for embarrassingly parallel loops: Monte-Carlo channel draws and the
+// benchmark parameter sweeps. The pool is deliberately simple — static
+// chunking over an index range — because every task in this library is
+// CPU-bound and uniform enough that dynamic scheduling buys nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tveg::support {
+
+/// Fixed-size thread pool; `submit` enqueues, `parallel_for` blocks until an
+/// index range has been fully processed.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs body(i) for every i in [begin, end), split into contiguous chunks
+  /// across the pool plus the calling thread; returns when all complete.
+  /// Exceptions from body are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace tveg::support

@@ -1,0 +1,240 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace tveg::trace {
+
+using support::Rng;
+
+ContactTrace generate_haggle_like(const HaggleLikeConfig& config) {
+  TVEG_REQUIRE(config.pair_probability > 0 && config.pair_probability <= 1,
+               "pair probability must lie in (0, 1]");
+  TVEG_REQUIRE(config.activation_ramp_end >= 0 &&
+                   config.activation_ramp_end < config.horizon,
+               "activation ramp must end before the horizon");
+
+  Rng rng(config.seed);
+  ContactTrace trace(config.nodes, config.horizon);
+
+  for (NodeId a = 0; a < config.nodes; ++a) {
+    for (NodeId b = a + 1; b < config.nodes; ++b) {
+      if (!rng.bernoulli(config.pair_probability)) continue;
+      // The pair's social relationship "activates" somewhere on the ramp —
+      // this is what makes the population-average degree climb early in the
+      // trace and plateau afterwards (Fig. 7's shape).
+      Time t = rng.uniform(0.0, config.activation_ramp_end);
+      for (;;) {
+        t += rng.pareto(config.pareto_scale, config.pareto_shape);
+        if (t >= config.horizon) break;
+        Time duration = rng.lognormal(config.duration_log_mean,
+                                      config.duration_log_sigma);
+        duration = std::min<Time>(duration, config.max_duration);
+        const Time end = std::min(t + duration, config.horizon);
+        if (end > t) {
+          const double d =
+              rng.uniform(config.min_distance, config.max_distance);
+          trace.add({a, b, t, end, d});
+        }
+        t = end;
+      }
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+namespace {
+
+/// Random-waypoint walker: position as a function of sampled steps.
+class Walker {
+ public:
+  Walker(Rng& rng, double area, double speed_min, double speed_max,
+         Time pause_max)
+      : area_(area),
+        speed_min_(speed_min),
+        speed_max_(speed_max),
+        pause_max_(pause_max),
+        x_(rng.uniform(0.0, area)),
+        y_(rng.uniform(0.0, area)) {
+    pick_waypoint(rng);
+  }
+
+  void advance(Rng& rng, Time dt) {
+    while (dt > 0) {
+      if (pause_left_ > 0) {
+        const Time p = std::min(pause_left_, dt);
+        pause_left_ -= p;
+        dt -= p;
+        continue;
+      }
+      const double dist_to_target = std::hypot(tx_ - x_, ty_ - y_);
+      const double step = speed_ * dt;
+      if (step >= dist_to_target) {
+        x_ = tx_;
+        y_ = ty_;
+        dt -= speed_ > 0 ? dist_to_target / speed_ : dt;
+        pause_left_ = rng.uniform(0.0, pause_max_);
+        pick_waypoint(rng);
+      } else {
+        const double frac = step / dist_to_target;
+        x_ += (tx_ - x_) * frac;
+        y_ += (ty_ - y_) * frac;
+        dt = 0;
+      }
+    }
+  }
+
+  double x() const { return x_; }
+  double y() const { return y_; }
+
+ private:
+  void pick_waypoint(Rng& rng) {
+    tx_ = rng.uniform(0.0, area_);
+    ty_ = rng.uniform(0.0, area_);
+    speed_ = rng.uniform(speed_min_, speed_max_);
+  }
+
+  double area_, speed_min_, speed_max_;
+  Time pause_max_;
+  double x_, y_, tx_ = 0, ty_ = 0, speed_ = 1;
+  Time pause_left_ = 0;
+};
+
+}  // namespace
+
+ContactTrace generate_random_waypoint(const RandomWaypointConfig& config) {
+  TVEG_REQUIRE(config.sample_dt > 0, "sample step must be positive");
+  TVEG_REQUIRE(config.distance_quantum > 0, "distance quantum must be positive");
+  TVEG_REQUIRE(config.speed_min > 0 && config.speed_max >= config.speed_min,
+               "speeds must be positive and ordered");
+
+  Rng rng(config.seed);
+  std::vector<Walker> walkers;
+  walkers.reserve(static_cast<std::size_t>(config.nodes));
+  for (NodeId i = 0; i < config.nodes; ++i)
+    walkers.emplace_back(rng, config.area, config.speed_min, config.speed_max,
+                         config.pause_max);
+
+  ContactTrace trace(config.nodes, config.horizon);
+  const auto n = static_cast<std::size_t>(config.nodes);
+  // Per pair: (contact start, quantized distance bucket), bucket < 0 when
+  // out of range.
+  struct Run {
+    Time start = 0;
+    int bucket = -1;
+  };
+  std::vector<Run> runs(n * n);
+  auto run_of = [&](NodeId a, NodeId b) -> Run& {
+    return runs[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)];
+  };
+
+  auto flush = [&](NodeId a, NodeId b, Run& run, Time now) {
+    if (run.bucket >= 0 && now > run.start) {
+      const double d = (static_cast<double>(run.bucket) + 0.5) *
+                       config.distance_quantum;
+      trace.add({a, b, run.start, now,
+                 std::max(d, 0.5 * config.distance_quantum)});
+    }
+  };
+
+  for (Time t = 0; t < config.horizon; t += config.sample_dt) {
+    const Time next = std::min(t + config.sample_dt, config.horizon);
+    for (NodeId a = 0; a < config.nodes; ++a) {
+      for (NodeId b = a + 1; b < config.nodes; ++b) {
+        const double d = std::hypot(walkers[a].x() - walkers[b].x(),
+                                    walkers[a].y() - walkers[b].y());
+        const int bucket =
+            d <= config.comm_range && d > 0
+                ? static_cast<int>(d / config.distance_quantum)
+                : -1;
+        Run& run = run_of(a, b);
+        if (bucket != run.bucket) {
+          flush(a, b, run, t);
+          run = {t, bucket};
+        }
+      }
+    }
+    for (auto& w : walkers) w.advance(rng, next - t);
+  }
+  for (NodeId a = 0; a < config.nodes; ++a)
+    for (NodeId b = a + 1; b < config.nodes; ++b)
+      flush(a, b, run_of(a, b), config.horizon);
+
+  trace.sort();
+  return trace;
+}
+
+ContactTrace generate_duty_cycle(const DutyCycleConfig& config) {
+  TVEG_REQUIRE(config.duty > 0 && config.duty <= 1, "duty must lie in (0, 1]");
+  TVEG_REQUIRE(config.period > 0 && config.period < config.horizon,
+               "period must be positive and below the horizon");
+
+  Rng rng(config.seed);
+  struct Sensor {
+    double x, y;
+    Time phase;
+  };
+  std::vector<Sensor> sensors;
+  sensors.reserve(static_cast<std::size_t>(config.nodes));
+  for (NodeId i = 0; i < config.nodes; ++i)
+    sensors.push_back({rng.uniform(0.0, config.area),
+                       rng.uniform(0.0, config.area),
+                       rng.uniform(0.0, config.period)});
+
+  // Awake intervals of node i: [phase + k·period, phase + k·period + duty·period).
+  auto awake_intervals = [&](const Sensor& s) {
+    IntervalSet set;
+    const Time on = config.duty * config.period;
+    for (Time t = s.phase - config.period; t < config.horizon;
+         t += config.period) {
+      const Time lo = std::max<Time>(t, 0);
+      const Time hi = std::min(t + on, config.horizon);
+      if (lo < hi) set.add(lo, hi);
+    }
+    return set;
+  };
+
+  std::vector<IntervalSet> awake;
+  awake.reserve(sensors.size());
+  for (const auto& s : sensors) awake.push_back(awake_intervals(s));
+
+  ContactTrace trace(config.nodes, config.horizon);
+  for (NodeId a = 0; a < config.nodes; ++a) {
+    for (NodeId b = a + 1; b < config.nodes; ++b) {
+      const double d = std::hypot(sensors[a].x - sensors[b].x,
+                                  sensors[a].y - sensors[b].y);
+      if (d > config.comm_range || d == 0) continue;
+      const IntervalSet both = awake[a].intersect(awake[b]);
+      for (const Interval& iv : both.intervals())
+        trace.add({a, b, iv.start, iv.end, d});
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+ContactTrace generate_snapshots(const SnapshotConfig& config) {
+  TVEG_REQUIRE(config.p > 0 && config.p <= 1, "p must lie in (0, 1]");
+  TVEG_REQUIRE(config.slot > 0 && config.slot <= config.horizon,
+               "slot must be positive and fit the horizon");
+
+  Rng rng(config.seed);
+  ContactTrace trace(config.nodes, config.horizon);
+  for (Time t = 0; t < config.horizon; t += config.slot) {
+    const Time end = std::min(t + config.slot, config.horizon);
+    for (NodeId a = 0; a < config.nodes; ++a)
+      for (NodeId b = a + 1; b < config.nodes; ++b)
+        if (rng.bernoulli(config.p))
+          trace.add({a, b, t, end,
+                     rng.uniform(config.min_distance, config.max_distance)});
+  }
+  trace.sort();
+  return trace;
+}
+
+}  // namespace tveg::trace

@@ -1,0 +1,104 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tveg::trace {
+
+namespace {
+
+/// Parses "key=value" tokens from the "# tveg-trace ..." header.
+bool parse_header(const std::string& line, NodeId& nodes, Time& horizon) {
+  std::istringstream is(line);
+  std::string hash, tag;
+  is >> hash >> tag;
+  if (hash != "#" || tag != "tveg-trace") return false;
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "nodes") nodes = static_cast<NodeId>(std::stol(value));
+    if (key == "horizon") horizon = std::stod(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+ContactTrace read_trace(std::istream& in, NodeId nodes, Time horizon,
+                        double default_distance) {
+  struct Row {
+    NodeId a, b;
+    Time start, end;
+    double distance;
+  };
+  std::vector<Row> rows;
+  std::string line;
+  NodeId max_node = -1;
+  Time max_time = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      parse_header(line, nodes, horizon);
+      continue;
+    }
+    std::istringstream is(line);
+    Row r{};
+    r.distance = default_distance;
+    if (!(is >> r.a >> r.b >> r.start >> r.end)) {
+      TVEG_REQUIRE(false, "malformed trace line: " + line);
+    }
+    double d;
+    if (is >> d) r.distance = d;
+    rows.push_back(r);
+    max_node = std::max({max_node, r.a, r.b});
+    max_time = std::max(max_time, r.end);
+  }
+
+  if (nodes <= 0) nodes = max_node + 1;
+  if (horizon <= 0) horizon = max_time;
+  TVEG_REQUIRE(nodes > 1, "trace declares fewer than two nodes");
+  TVEG_REQUIRE(horizon > 0, "trace has no positive horizon");
+
+  ContactTrace trace(nodes, horizon);
+  for (const Row& r : rows) {
+    const Time s = std::max<Time>(r.start, 0);
+    const Time e = std::min(r.end, horizon);
+    if (s < e && r.a < nodes && r.b < nodes)
+      trace.add({r.a, r.b, s, e, r.distance});
+  }
+  trace.sort();
+  return trace;
+}
+
+ContactTrace read_trace_file(const std::string& path, NodeId nodes,
+                             Time horizon, double default_distance) {
+  std::ifstream in(path);
+  TVEG_REQUIRE(in.good(), "cannot open trace file: " + path);
+  return read_trace(in, nodes, horizon, default_distance);
+}
+
+void write_trace(std::ostream& out, const ContactTrace& trace) {
+  out << "# tveg-trace nodes=" << trace.node_count()
+      << " horizon=" << trace.horizon() << '\n';
+  out.precision(17);  // round-trip exact doubles
+  for (const Contact& c : trace.contacts())
+    out << c.a << ' ' << c.b << ' ' << c.start << ' ' << c.end << ' '
+        << c.distance << '\n';
+}
+
+void write_trace_file(const std::string& path, const ContactTrace& trace) {
+  std::ofstream out(path);
+  TVEG_REQUIRE(out.good(), "cannot open output file: " + path);
+  write_trace(out, trace);
+}
+
+}  // namespace tveg::trace

@@ -1,0 +1,34 @@
+// Contact-trace serialization.
+//
+// Format: whitespace-separated text, one contact per line —
+//     <node_a> <node_b> <start> <end> [distance]
+// with optional '#' comment lines and an optional header line
+//     # tveg-trace nodes=<N> horizon=<T>
+// This is a superset of the CRAWDAD imote/haggle contact list format, so a
+// real Haggle trace (plus a chosen node count / horizon) drops in directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/contact_trace.hpp"
+
+namespace tveg::trace {
+
+/// Reads a trace from a stream. If the header line is absent, `nodes` and
+/// `horizon` must be supplied (> 0); contacts beyond the horizon are
+/// clipped, node ids are expected to be 0-based and dense.
+ContactTrace read_trace(std::istream& in, NodeId nodes = 0, Time horizon = 0,
+                        double default_distance = 1.0);
+
+/// Reads a trace from a file path.
+ContactTrace read_trace_file(const std::string& path, NodeId nodes = 0,
+                             Time horizon = 0, double default_distance = 1.0);
+
+/// Writes a trace (with header) in the format read_trace understands.
+void write_trace(std::ostream& out, const ContactTrace& trace);
+
+/// Writes a trace to a file path.
+void write_trace_file(const std::string& path, const ContactTrace& trace);
+
+}  // namespace tveg::trace

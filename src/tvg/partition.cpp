@@ -1,0 +1,75 @@
+#include "tvg/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tveg {
+
+Partition::Partition(Time horizon, double tolerance)
+    : horizon_(horizon), tolerance_(tolerance) {
+  TVEG_REQUIRE(horizon > 0, "partition horizon must be positive");
+  TVEG_REQUIRE(tolerance >= 0, "tolerance must be non-negative");
+  points_ = {0.0, horizon};
+}
+
+Partition::Partition(Time horizon, std::vector<Time> points, double tolerance)
+    : Partition(horizon, tolerance) {
+  points.push_back(0.0);
+  points.push_back(horizon);
+  std::sort(points.begin(), points.end());
+  std::vector<Time> cleaned;
+  cleaned.reserve(points.size());
+  for (Time t : points) {
+    if (t < -tolerance_ || t > horizon_ + tolerance_) continue;
+    t = std::clamp(t, 0.0, horizon_);
+    if (cleaned.empty() || t - cleaned.back() > tolerance_)
+      cleaned.push_back(t);
+  }
+  // Ensure the exact endpoints survive clamping/merging.
+  cleaned.front() = 0.0;
+  cleaned.back() = horizon_;
+  points_ = std::move(cleaned);
+}
+
+bool Partition::insert(Time t) {
+  if (t < -tolerance_ || t > horizon_ + tolerance_) return false;
+  t = std::clamp(t, 0.0, horizon_);
+  auto it = std::lower_bound(points_.begin(), points_.end(), t);
+  if (it != points_.end() && *it - t <= tolerance_) return false;
+  if (it != points_.begin() && t - *(it - 1) <= tolerance_) return false;
+  points_.insert(it, t);
+  return true;
+}
+
+bool Partition::contains(Time t) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(), t);
+  if (it != points_.end() && *it - t <= tolerance_) return true;
+  if (it != points_.begin() && t - *(it - 1) <= tolerance_) return true;
+  return false;
+}
+
+std::size_t Partition::interval_index(Time t) const {
+  TVEG_REQUIRE(t >= -tolerance_ && t <= horizon_ + tolerance_,
+               "time outside the partition span");
+  t = std::clamp(t, 0.0, horizon_);
+  // Last point <= t (+tolerance to land exactly-on-point queries on their
+  // own interval rather than the previous one).
+  auto it = std::upper_bound(points_.begin(), points_.end(), t + tolerance_);
+  TVEG_ASSERT(it != points_.begin());
+  std::size_t idx = static_cast<std::size_t>(it - points_.begin()) - 1;
+  if (idx + 1 == points_.size()) --idx;  // t == horizon -> last interval
+  return idx;
+}
+
+Partition Partition::combine(const Partition& other) const {
+  TVEG_REQUIRE(std::fabs(horizon_ - other.horizon_) <= tolerance_,
+               "cannot combine partitions with different horizons");
+  std::vector<Time> merged = points_;
+  merged.insert(merged.end(), other.points_.begin(), other.points_.end());
+  return Partition(horizon_, std::move(merged),
+                   std::max(tolerance_, other.tolerance_));
+}
+
+}  // namespace tveg

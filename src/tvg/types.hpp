@@ -1,0 +1,20 @@
+// Fundamental identifiers and scalar types for the temporal-graph layer.
+#pragma once
+
+#include <cstdint>
+
+namespace tveg {
+
+/// Node identifier; nodes are dense 0..N-1.
+using NodeId = std::int32_t;
+
+/// Continuous time in seconds (the paper's T = R+ temporal domain).
+using Time = double;
+
+/// Transmit energy cost (the paper's w ∈ W).
+using Cost = double;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace tveg

@@ -1,0 +1,71 @@
+#include "channel/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tveg::channel {
+namespace {
+
+RadioParams paper_params() {
+  RadioParams r;
+  r.noise_density = 4.32e-21;
+  r.decoding_threshold_db = 25.9;
+  r.path_loss_exponent = 2.0;
+  r.w_max = 1.0;
+  r.epsilon = 0.01;
+  return r;
+}
+
+TEST(Radio, GammaLinear) {
+  EXPECT_NEAR(paper_params().gamma_linear(), 389.0, 1.0);
+}
+
+TEST(Radio, GainFollowsPathLoss) {
+  const auto r = paper_params();
+  EXPECT_DOUBLE_EQ(r.gain(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.gain(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(r.gain(10.0), 0.01);
+}
+
+TEST(Radio, StepMinCostScalesWithDistanceSquared) {
+  const auto r = paper_params();
+  EXPECT_NEAR(r.step_min_cost(2.0) / r.step_min_cost(1.0), 4.0, 1e-9);
+  EXPECT_NEAR(r.step_min_cost(1.0), 4.32e-21 * r.gamma_linear(), 1e-30);
+}
+
+TEST(Radio, RayleighBetaEqualsStepCost) {
+  // With h = d^-α both reduce to N0·γ·d^α.
+  const auto r = paper_params();
+  for (double d : {1.0, 3.0, 10.0})
+    EXPECT_NEAR(r.rayleigh_beta(d), r.step_min_cost(d), 1e-30);
+}
+
+TEST(Radio, CubicPathLoss) {
+  auto r = paper_params();
+  r.path_loss_exponent = 3.0;
+  EXPECT_NEAR(r.rayleigh_beta(2.0) / r.rayleigh_beta(1.0), 8.0, 1e-9);
+}
+
+TEST(Radio, GainRejectsNonPositiveDistance) {
+  const auto r = paper_params();
+  EXPECT_THROW(r.gain(0.0), std::invalid_argument);
+  EXPECT_THROW(r.gain(-1.0), std::invalid_argument);
+}
+
+TEST(Radio, ValidateCatchesBadParams) {
+  auto r = paper_params();
+  r.epsilon = 1.5;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = paper_params();
+  r.w_max = 0.0;
+  r.w_min = 0.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = paper_params();
+  r.noise_density = 0.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(paper_params().validate());
+}
+
+}  // namespace
+}  // namespace tveg::channel

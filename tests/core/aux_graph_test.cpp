@@ -1,0 +1,161 @@
+#include "core/aux_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/steiner.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+namespace {
+
+channel::RadioParams test_radio() {
+  channel::RadioParams r;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+/// Source 0; 1 near (d=1), 2 far (d=3); both contacts live the whole span.
+Tveg star_tveg() {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 100.0, 1.0});
+  t.add({0, 2, 0.0, 100.0, 3.0});
+  return Tveg(t, test_radio(), {.model = channel::ChannelModel::kStep});
+}
+
+TEST(AuxGraph, StructureCounts) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  EXPECT_GT(aux.vertex_count(), 0u);
+  EXPECT_GT(aux.arc_count(), 0u);
+  EXPECT_EQ(aux.terminals().size(), 3u);
+  EXPECT_NE(aux.source_vertex(), graph::kNoVertex);
+}
+
+TEST(AuxGraph, SteinerSolutionUsesBroadcastAdvantage) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+
+  graph::SteinerSolver solver(aux.digraph());
+  const auto tree =
+      solver.recursive_greedy(aux.source_vertex(), aux.terminals(), 2);
+  ASSERT_TRUE(tree.feasible);
+  const Schedule s = aux.extract_schedule(tree);
+
+  // One transmission at the far cost informs both 1 and 2.
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s.total_cost(), tveg.radio().step_min_cost(3.0), 1e-30);
+  EXPECT_TRUE(check_feasibility(inst, s).feasible);
+}
+
+TEST(AuxGraph, AblationWithoutPowerExpansionPaysPerReceiverInTheTree) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph with(inst, dts, {.power_expansion = true});
+  const AuxGraph without(inst, dts, {.power_expansion = false});
+
+  // Exact optima isolate the modeling difference from greedy noise.
+  graph::SteinerSolver solver_with(with.digraph());
+  graph::SteinerSolver solver_without(without.digraph());
+  const auto tree_with =
+      solver_with.exact_small(with.source_vertex(), with.terminals());
+  const auto tree_without =
+      solver_without.exact_small(without.source_vertex(), without.terminals());
+  ASSERT_TRUE(tree_with.feasible);
+  ASSERT_TRUE(tree_without.feasible);
+
+  // The optimizer's objective degrades: per-receiver arcs pay near + far
+  // instead of just far. (Schedule extraction coalesces same-relay-same-time
+  // transmissions, which can win back some of the loss physically — the
+  // ablation bench reports both numbers.)
+  const Cost near = tveg.radio().step_min_cost(1.0);
+  const Cost far = tveg.radio().step_min_cost(3.0);
+  EXPECT_NEAR(tree_with.cost, far, far * 1e-9);
+  EXPECT_NEAR(tree_without.cost, near + far, far * 1e-9);
+}
+
+TEST(AuxGraph, DeadlineClipsVertices) {
+  const Tveg tveg = star_tveg();
+  const auto dts = tveg.build_dts();
+  const TmedbInstance full{&tveg, 0, 100.0};
+  const TmedbInstance tight{&tveg, 0, 10.0};
+  const AuxGraph aux_full(full, dts);
+  const AuxGraph aux_tight(tight, dts);
+  EXPECT_LE(aux_tight.vertex_count(), aux_full.vertex_count());
+}
+
+TEST(AuxGraph, TemporalStructureForcesWaiting) {
+  // 0 meets 1 early; 1 meets 2 only later: the Steiner solution must place
+  // 1's transmission inside the later contact.
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 20.0, 1.0});
+  t.add({1, 2, 50.0, 80.0, 1.0});
+  const Tveg tveg(t, test_radio(), {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+
+  graph::SteinerSolver solver(aux.digraph());
+  const auto tree =
+      solver.recursive_greedy(aux.source_vertex(), aux.terminals(), 2);
+  ASSERT_TRUE(tree.feasible);
+  const Schedule s = aux.extract_schedule(tree);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.transmissions()[0].relay, 0);
+  EXPECT_LT(s.transmissions()[0].time, 20.0);
+  EXPECT_EQ(s.transmissions()[1].relay, 1);
+  EXPECT_GE(s.transmissions()[1].time, 50.0);
+  EXPECT_TRUE(check_feasibility(inst, s).feasible);
+}
+
+TEST(AuxGraph, InfeasibleWhenDeadlineTooTight) {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 20.0, 1.0});
+  t.add({1, 2, 50.0, 80.0, 1.0});
+  const Tveg tveg(t, test_radio(), {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 30.0};  // node 2 unreachable by 30
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  graph::SteinerSolver solver(aux.digraph());
+  const auto tree =
+      solver.recursive_greedy(aux.source_vertex(), aux.terminals(), 2);
+  EXPECT_FALSE(tree.feasible);
+}
+
+TEST(AuxGraph, LatencyShiftsReceiverVertices) {
+  trace::ContactTrace t(2, 100.0);
+  t.add({0, 1, 0.0, 50.0, 1.0});
+  const Tveg tveg(t, test_radio(),
+                  {.model = channel::ChannelModel::kStep, .tau = 5.0});
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  graph::SteinerSolver solver(aux.digraph());
+  const auto tree = solver.shortest_path_heuristic(aux.source_vertex(),
+                                                   aux.terminals());
+  ASSERT_TRUE(tree.feasible);
+  const Schedule s = aux.extract_schedule(tree);
+  ASSERT_EQ(s.size(), 1u);
+  // Transmission must start early enough to complete within the contact.
+  EXPECT_LE(s.transmissions()[0].time + 5.0, 50.0 + 1e-9);
+  EXPECT_TRUE(check_feasibility(inst, s).feasible);
+}
+
+TEST(AuxGraph, PointAccessors) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  ASSERT_GT(aux.point_count(0), 0u);
+  EXPECT_DOUBLE_EQ(aux.point_time(0, 0), 0.0);
+  EXPECT_NO_THROW(aux.node_vertex(0, 0));
+  EXPECT_THROW(aux.node_vertex(0, 10000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tveg::core

@@ -1,0 +1,55 @@
+#include "core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tveg::core {
+namespace {
+
+TEST(ScheduleIo, RoundTripPreservesEverything) {
+  Schedule s;
+  s.add(3, 1413.8317, 9.30357e-17);
+  s.add(0, 0.0, 1.0);
+  s.add(7, 1413.8317, 4.21312e-17);
+
+  std::stringstream ss;
+  write_schedule(ss, s);
+  const Schedule back = read_schedule(ss);
+  EXPECT_EQ(back.transmissions(), s.transmissions());
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  std::stringstream ss;
+  write_schedule(ss, Schedule{});
+  EXPECT_TRUE(read_schedule(ss).empty());
+}
+
+TEST(ScheduleIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n2 10.5 0.25\n# trailing\n");
+  const Schedule s = read_schedule(ss);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.transmissions()[0].relay, 2);
+  EXPECT_DOUBLE_EQ(s.transmissions()[0].cost, 0.25);
+}
+
+TEST(ScheduleIo, MalformedLineThrows) {
+  std::stringstream ss("1 two 3.0\n");
+  EXPECT_THROW(read_schedule(ss), std::invalid_argument);
+}
+
+TEST(ScheduleIo, MissingFileThrows) {
+  EXPECT_THROW(read_schedule_file("/nonexistent/schedule.txt"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  Schedule s;
+  s.add(1, 5.0, 2.5);
+  const std::string path = ::testing::TempDir() + "/tveg_schedule_test.txt";
+  write_schedule_file(path, s);
+  EXPECT_EQ(read_schedule_file(path).transmissions(), s.transmissions());
+}
+
+}  // namespace
+}  // namespace tveg::core

@@ -1,0 +1,250 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/math.hpp"
+
+namespace tveg::core {
+namespace {
+
+channel::RadioParams test_radio() {
+  channel::RadioParams r;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+/// Line 0-1-2 always connected at unit distances; step channel; τ = 0.
+Tveg line_tveg(channel::ChannelModel model = channel::ChannelModel::kStep,
+               Time tau = 0.0) {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 100.0, 1.0});
+  t.add({1, 2, 0.0, 100.0, 1.0});
+  return Tveg(t, test_radio(), {.model = model, .tau = tau});
+}
+
+TEST(Schedule, SortsByTime) {
+  Schedule s;
+  s.add(1, 5.0, 2.0);
+  s.add(0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.transmissions()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(s.transmissions()[1].time, 5.0);
+}
+
+TEST(Schedule, CostAndLatency) {
+  Schedule s;
+  s.add(0, 1.0, 1.5);
+  s.add(1, 5.0, 2.5);
+  EXPECT_DOUBLE_EQ(s.total_cost(), 4.0);
+  EXPECT_DOUBLE_EQ(s.latest_finish(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(Schedule{}.total_cost(), 0.0);
+}
+
+TEST(Schedule, CoalesceKeepsMaxCost) {
+  Schedule s;
+  s.add(0, 1.0, 1.0);
+  s.add(0, 1.0, 3.0);
+  s.add(0, 2.0, 1.0);
+  s.coalesce();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.transmissions()[0].cost, 3.0);
+}
+
+TEST(Schedule, RejectsNegativeInputs) {
+  Schedule s;
+  EXPECT_THROW(s.add(0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add(0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Schedule, StreamOutput) {
+  Schedule s;
+  s.add(0, 1.0, 2.0);
+  std::ostringstream os;
+  os << s;
+  EXPECT_NE(os.str().find("relay=0"), std::string::npos);
+}
+
+TEST(TmedbInstance, Validation) {
+  const Tveg tveg = line_tveg();
+  TmedbInstance good{&tveg, 0, 50.0};
+  EXPECT_NO_THROW(good.validate());
+  EXPECT_DOUBLE_EQ(good.effective_epsilon(), 0.01);
+
+  TmedbInstance custom_eps{&tveg, 0, 50.0, 0.2};
+  EXPECT_DOUBLE_EQ(custom_eps.effective_epsilon(), 0.2);
+
+  TmedbInstance bad_source{&tveg, 9, 50.0};
+  EXPECT_THROW(bad_source.validate(), std::invalid_argument);
+  TmedbInstance bad_deadline{&tveg, 0, 500.0};
+  EXPECT_THROW(bad_deadline.validate(), std::invalid_argument);
+  TmedbInstance no_tveg{nullptr, 0, 50.0};
+  EXPECT_THROW(no_tveg.validate(), std::invalid_argument);
+}
+
+TEST(Cascade, StepChainInformsInTimeOrder) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+
+  Schedule s;
+  s.add(0, 10.0, w);
+  s.add(1, 20.0, w);
+
+  auto p5 = uninformed_probabilities(inst, s, 5.0);
+  EXPECT_DOUBLE_EQ(p5[1], 1.0);
+  auto p15 = uninformed_probabilities(inst, s, 15.0);
+  EXPECT_DOUBLE_EQ(p15[1], 0.0);
+  EXPECT_DOUBLE_EQ(p15[2], 1.0);
+  auto p25 = uninformed_probabilities(inst, s, 25.0);
+  EXPECT_DOUBLE_EQ(p25[2], 0.0);
+  EXPECT_DOUBLE_EQ(p25[0], 0.0);  // source always informed
+}
+
+TEST(Cascade, SameTimeNonStopJourneyIsApplied) {
+  const Tveg tveg = line_tveg();  // τ = 0
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  Schedule s;
+  s.add(0, 10.0, w);
+  s.add(1, 10.0, w);  // relays the packet the instant it receives it
+  const CascadeResult r = run_cascade(inst, s, 100.0);
+  EXPECT_TRUE(r.all_applied);
+  EXPECT_DOUBLE_EQ(r.p[2], 0.0);
+}
+
+TEST(Cascade, UninformedRelayIsNotApplied) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  Schedule s;
+  s.add(1, 10.0, w);  // relay 1 never received the packet
+  const CascadeResult r = run_cascade(inst, s, 100.0);
+  EXPECT_FALSE(r.all_applied);
+  EXPECT_DOUBLE_EQ(r.p[2], 1.0);
+}
+
+TEST(Cascade, LatencyDelaysEligibility) {
+  const Tveg tveg = line_tveg(channel::ChannelModel::kStep, 5.0);
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  Schedule s;
+  s.add(0, 10.0, w);   // 1 informed at 15
+  s.add(1, 12.0, w);   // too early: 1 does not yet hold the packet
+  const CascadeResult r = run_cascade(inst, s, 100.0);
+  EXPECT_FALSE(r.all_applied);
+
+  Schedule ok;
+  ok.add(0, 10.0, w);
+  ok.add(1, 15.0, w);  // exactly at arrival
+  const CascadeResult r2 = run_cascade(inst, ok, 100.0);
+  EXPECT_TRUE(r2.all_applied);
+  EXPECT_DOUBLE_EQ(r2.p[2], 0.0);
+}
+
+TEST(Cascade, RayleighProbabilitiesMultiply) {
+  const Tveg tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  const TmedbInstance inst{&tveg, 0, 100.0, 0.25};
+  const double beta = tveg.radio().rayleigh_beta(1.0);
+  const Cost w = beta;  // φ = 1 - e^{-1} ≈ 0.632 per shot
+  Schedule s;
+  s.add(0, 10.0, w);
+  s.add(0, 20.0, w);
+  const auto p = uninformed_probabilities(inst, s, 50.0);
+  const double phi = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(p[1], phi * phi, 1e-12);
+}
+
+TEST(CheckFeasibility, AcceptsValidStepSchedule) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 50.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  Schedule s;
+  s.add(0, 10.0, w);
+  s.add(1, 20.0, w);
+  const auto report = check_feasibility(inst, s);
+  EXPECT_TRUE(report.feasible) << report.reason;
+  EXPECT_TRUE(report.relays_informed);
+  EXPECT_TRUE(report.all_informed);
+  EXPECT_TRUE(report.within_deadline);
+  EXPECT_LE(report.max_uninformed_probability, 0.01);
+}
+
+TEST(CheckFeasibility, RejectsCircularSameTimeInforming) {
+  // 1 and 2 transmit at the same instant, each the other's only source —
+  // causally impossible even though a naive Eq. 6 product accepts it.
+  trace::ContactTrace t(3, 100.0);
+  t.add({1, 2, 0.0, 100.0, 1.0});
+  t.add({0, 1, 50.0, 100.0, 1.0});  // source reaches 1 only later
+  const Tveg tveg(t, test_radio(), {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const Cost w = tveg.edge_weight(1, 2, 10.0);
+  Schedule s;
+  s.add(1, 10.0, w);
+  s.add(2, 10.0, w);
+  const auto report = check_feasibility(inst, s);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.relays_informed);
+}
+
+TEST(CheckFeasibility, RejectsLateTransmission) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 30.0};
+  Schedule s;
+  s.add(0, 40.0, 1.0);
+  const auto report = check_feasibility(inst, s);
+  EXPECT_FALSE(report.within_deadline);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(CheckFeasibility, RejectsOverBudget) {
+  const Tveg tveg = line_tveg();
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  TmedbInstance inst{&tveg, 0, 50.0};
+  inst.budget = w / 2;
+  Schedule s;
+  s.add(0, 10.0, w);
+  s.add(1, 20.0, w);
+  const auto report = check_feasibility(inst, s);
+  EXPECT_FALSE(report.within_budget);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(CheckFeasibility, RejectsUncoveredNode) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 50.0};
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  Schedule s;
+  s.add(0, 10.0, w);  // node 2 never reached
+  const auto report = check_feasibility(inst, s);
+  EXPECT_FALSE(report.all_informed);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_GT(report.max_uninformed_probability, 0.5);
+}
+
+TEST(CheckFeasibility, RejectsCostOutsideRange) {
+  trace::ContactTrace t(2, 10.0);
+  t.add({0, 1, 0.0, 10.0, 1.0});
+  auto radio = test_radio();
+  radio.w_max = 1e-20;
+  const Tveg tveg(t, radio, {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 10.0};
+  Schedule s;
+  s.add(0, 1.0, 1.0);  // way above w_max
+  const auto report = check_feasibility(inst, s);
+  EXPECT_FALSE(report.costs_in_range);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(NormalizedEnergy, DividesByThresholdEnergy) {
+  const Tveg tveg = line_tveg();
+  const TmedbInstance inst{&tveg, 0, 50.0};
+  Schedule s;
+  const Cost w = tveg.radio().noise_density * tveg.radio().gamma_linear();
+  s.add(0, 1.0, w);
+  EXPECT_NEAR(normalized_energy(inst, s), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tveg::core

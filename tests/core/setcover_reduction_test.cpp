@@ -1,0 +1,98 @@
+// The Theorem 4.1 reduction as an executable fixture: a Set Cover instance
+// becomes a TMEDB instance whose optimal broadcast cost encodes the minimum
+// cover size. Demonstrates the NP-hardness gadget and exercises the exact
+// solver + EEDCB on structured (non-random) instances.
+//
+// Construction (step channel, τ = 0, unit radio ⇒ cost = distance²):
+//   * node 0: source; nodes 1..n: set nodes; nodes n+1..n+m: element nodes.
+//   * window [0, 1): source meets every set node at distance d0 (tiny) —
+//     one broadcast of cost d0² informs all set nodes.
+//   * window [1, 2): set node i meets exactly the element nodes of S_i at
+//     distance 1 — transmitting costs exactly 1 per selected set
+//     (broadcast nature: one payment covers all its elements).
+// Optimal total = d0² + (minimum cover size).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute_force.hpp"
+#include "core/eedcb.hpp"
+#include "support/math.hpp"
+
+namespace tveg::core {
+namespace {
+
+constexpr double kTiny = 1e-3;  // source → set-node distance
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+/// Builds the TMEDB gadget for sets over elements 0..m-1.
+Tveg reduce(const std::vector<std::vector<int>>& sets, int m) {
+  const auto n = static_cast<NodeId>(sets.size());
+  const NodeId total = 1 + n + static_cast<NodeId>(m);
+  trace::ContactTrace t(total, 3.0);
+  for (NodeId i = 0; i < n; ++i)
+    t.add({0, static_cast<NodeId>(1 + i), 0.0, 1.0, kTiny});
+  for (NodeId i = 0; i < n; ++i)
+    for (int e : sets[static_cast<std::size_t>(i)])
+      t.add({static_cast<NodeId>(1 + i),
+             static_cast<NodeId>(1 + n + e), 1.0, 2.0, 1.0});
+  t.sort();
+  return Tveg(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+}
+
+void expect_cover_size(const std::vector<std::vector<int>>& sets, int m,
+                       int optimal_cover) {
+  const Tveg tveg = reduce(sets, m);
+  const TmedbInstance inst{&tveg, 0, 3.0};
+  const BruteForceResult r = brute_force_optimal(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.cost, kTiny * kTiny + optimal_cover, 1e-9);
+
+  // EEDCB returns a valid (possibly suboptimal) cover: cost at least the
+  // optimum, and the schedule informs everyone.
+  const SchedulerResult approx = run_eedcb(inst);
+  ASSERT_TRUE(approx.covered_all);
+  EXPECT_GE(approx.schedule.total_cost(), r.cost - 1e-9);
+  EXPECT_TRUE(check_feasibility(inst, approx.schedule).feasible);
+}
+
+TEST(SetCoverReduction, SingleSetCoversAll) {
+  expect_cover_size({{0, 1, 2}}, 3, 1);
+}
+
+TEST(SetCoverReduction, TwoDisjointSetsNeeded) {
+  expect_cover_size({{0, 1}, {2, 3}}, 4, 2);
+}
+
+TEST(SetCoverReduction, GreedyTrapInstance) {
+  // Classic instance where the big set {0,1,2,3} plus {4,5} is optimal (2)
+  // while element-overlapping decoys exist.
+  expect_cover_size({{0, 1, 2, 3}, {4, 5}, {0, 2, 4}, {1, 3, 5}}, 6, 2);
+}
+
+TEST(SetCoverReduction, RedundantSetIgnored) {
+  expect_cover_size({{0, 1, 2}, {0, 1}, {2}}, 3, 1);
+}
+
+TEST(SetCoverReduction, ThreeWayPartition) {
+  expect_cover_size({{0, 1}, {2, 3}, {4, 5}, {0, 2, 4}}, 6, 3);
+}
+
+TEST(SetCoverReduction, UncoverableElementMakesInstanceInfeasible) {
+  const Tveg tveg = reduce({{0}}, 2);  // element 1 in no set
+  const TmedbInstance inst{&tveg, 0, 3.0};
+  EXPECT_FALSE(brute_force_optimal(inst).feasible);
+  EXPECT_FALSE(run_eedcb(inst).covered_all);
+}
+
+}  // namespace
+}  // namespace tveg::core

@@ -1,0 +1,94 @@
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/math.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::core {
+namespace {
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+/// Chain 0-1-2 with staggered contacts: completion impossible before 60.
+Tveg chain() {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 10.0, 30.0, 1.0});
+  t.add({1, 2, 60.0, 90.0, 1.0});
+  return Tveg(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+}
+
+TEST(EarliestCompletion, FollowsForemostJourneys) {
+  const Tveg tveg = chain();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  // Foremost: 1 informed at 10 (τ=0), 2 informed at 60.
+  EXPECT_DOUBLE_EQ(earliest_completion(inst), 60.0);
+}
+
+TEST(EarliestCompletion, InfiniteWhenUnreachable) {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 100.0, 1.0});
+  const Tveg tveg(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  EXPECT_TRUE(std::isinf(earliest_completion(inst)));
+}
+
+TEST(EarliestCompletion, RespectsMulticastTargets) {
+  const Tveg tveg = chain();
+  TmedbInstance inst{&tveg, 0, 100.0};
+  inst.targets = {1};
+  EXPECT_DOUBLE_EQ(earliest_completion(inst), 10.0);
+}
+
+TEST(Tradeoff, InfeasibleBelowEarliestCompletion) {
+  const Tveg tveg = chain();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const TradeoffCurve curve = delay_energy_tradeoff(inst, 20, 100, 20);
+  ASSERT_EQ(curve.points.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.earliest_completion, 60.0);
+  EXPECT_FALSE(curve.points[0].feasible);  // T = 20
+  EXPECT_FALSE(curve.points[1].feasible);  // T = 40
+  EXPECT_TRUE(curve.points[2].feasible);   // T = 60
+  EXPECT_TRUE(curve.points[4].feasible);   // T = 100
+}
+
+TEST(Tradeoff, EnergyNonIncreasingOnHaggleTrace) {
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = 10;
+  cfg.horizon = 8000;
+  cfg.activation_ramp_end = 500;
+  cfg.pair_probability = 0.6;
+  cfg.seed = 5;
+  const Tveg tveg(trace::generate_haggle_like(cfg), unit_radio(),
+                  {.model = channel::ChannelModel::kStep});
+  const TmedbInstance inst{&tveg, 0, 7000.0};
+  const TradeoffCurve curve = delay_energy_tradeoff(inst, 2000, 7000, 1000);
+  double prev = support::kInf;
+  for (const TradeoffPoint& p : curve.points) {
+    if (!p.feasible) continue;
+    // The heuristic is not strictly monotone; allow small wobble.
+    EXPECT_LE(p.normalized_energy, prev * 1.25) << "T=" << p.deadline;
+    prev = std::min(prev, p.normalized_energy);
+  }
+}
+
+TEST(Tradeoff, ValidatesSweepRange) {
+  const Tveg tveg = chain();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  EXPECT_THROW(delay_energy_tradeoff(inst, 0, 10, 5), std::invalid_argument);
+  EXPECT_THROW(delay_energy_tradeoff(inst, 50, 10, 5), std::invalid_argument);
+  EXPECT_THROW(delay_energy_tradeoff(inst, 10, 50, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tveg::core

@@ -1,0 +1,93 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tveg::graph {
+namespace {
+
+TEST(Digraph, ConstructionAndGrowth) {
+  Digraph g(3);
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.add_vertex(), 3);
+  EXPECT_EQ(g.vertex_count(), 4);
+  EXPECT_EQ(g.arc_count(), 0u);
+}
+
+TEST(Digraph, ArcsAreDirected) {
+  Digraph g(2);
+  g.add_arc(0, 1, 5.0);
+  EXPECT_EQ(g.out(0).size(), 1u);
+  EXPECT_TRUE(g.out(1).empty());
+  EXPECT_EQ(g.arc_count(), 1u);
+}
+
+TEST(Digraph, RejectsNegativeWeightAndBadVertices) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_arc(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.out(9), std::invalid_argument);
+}
+
+TEST(Digraph, ReversedFlipsArcs) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2.0);
+  g.add_arc(1, 2, 3.0);
+  const Digraph r = g.reversed();
+  ASSERT_EQ(r.out(1).size(), 1u);
+  EXPECT_EQ(r.out(1)[0].to, 0);
+  EXPECT_DOUBLE_EQ(r.out(1)[0].weight, 2.0);
+  EXPECT_TRUE(r.out(0).empty());
+}
+
+TEST(Dijkstra, ShortestDistances) {
+  Digraph g(5);
+  g.add_arc(0, 1, 1.0);
+  g.add_arc(0, 2, 4.0);
+  g.add_arc(1, 2, 2.0);
+  g.add_arc(2, 3, 1.0);
+  g.add_arc(1, 3, 6.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 4.0);
+  EXPECT_TRUE(std::isinf(sp.dist[4]));
+}
+
+TEST(Dijkstra, ZeroWeightArcs) {
+  Digraph g(3);
+  g.add_arc(0, 1, 0.0);
+  g.add_arc(1, 2, 0.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 0.0);
+}
+
+TEST(Dijkstra, ExtractPath) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1.0);
+  g.add_arc(1, 2, 1.0);
+  g.add_arc(2, 3, 1.0);
+  g.add_arc(0, 3, 10.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_EQ(extract_path(sp, 3), (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(extract_path(sp, 0), (std::vector<VertexId>{0}));
+}
+
+TEST(Dijkstra, UnreachablePathEmpty) {
+  Digraph g(2);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_TRUE(extract_path(sp, 1).empty());
+}
+
+TEST(Dijkstra, ParallelArcsTakeCheapest) {
+  Digraph g(2);
+  g.add_arc(0, 1, 5.0);
+  g.add_arc(0, 1, 2.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 2.0);
+}
+
+}  // namespace
+}  // namespace tveg::graph

@@ -1,0 +1,209 @@
+#include "graph/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tveg::graph {
+namespace {
+
+/// Broadcast star: root 0, power vertex 1 costs 10 and reaches all three
+/// terminals for free; individual power vertices cost 6 each. Optimal tree
+/// costs 10 (share the broadcast), per-terminal shortest paths cost 18.
+struct BroadcastStar {
+  Digraph g{Digraph(8)};
+  VertexId root = 0;
+  std::vector<VertexId> terminals{2, 3, 4};
+
+  BroadcastStar() {
+    g.add_arc(0, 1, 10.0);  // shared power vertex
+    g.add_arc(1, 2, 0.0);
+    g.add_arc(1, 3, 0.0);
+    g.add_arc(1, 4, 0.0);
+    // Individual power vertices 5, 6, 7 (cheaper per terminal).
+    g.add_arc(0, 5, 6.0);
+    g.add_arc(5, 2, 0.0);
+    g.add_arc(0, 6, 6.0);
+    g.add_arc(6, 3, 0.0);
+    g.add_arc(0, 7, 6.0);
+    g.add_arc(7, 4, 0.0);
+  }
+};
+
+TEST(SteinerSpt, TakesPerTerminalShortestPaths) {
+  BroadcastStar s;
+  SteinerSolver solver(s.g);
+  const SteinerResult r = solver.shortest_path_heuristic(s.root, s.terminals);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(solver.validate(r, s.root, s.terminals));
+  // SPT pays each terminal's 6 — this is exactly the heuristic's blind spot.
+  EXPECT_DOUBLE_EQ(r.cost, 18.0);
+}
+
+TEST(SteinerGreedyLevel2, FindsSharedBroadcastVertex) {
+  BroadcastStar s;
+  SteinerSolver solver(s.g);
+  const SteinerResult r = solver.recursive_greedy(s.root, s.terminals, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(solver.validate(r, s.root, s.terminals));
+  // Density of the shared vertex is 10/3 < 6 → the greedy must pick it.
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+}
+
+TEST(SteinerExact, MatchesKnownOptimum) {
+  BroadcastStar s;
+  SteinerSolver solver(s.g);
+  const SteinerResult r = solver.exact_small(s.root, s.terminals);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+  // The exact solver reconstructs a concrete, valid arborescence.
+  EXPECT_FALSE(r.arcs.empty());
+  EXPECT_TRUE(solver.validate(r, s.root, s.terminals));
+}
+
+TEST(SteinerExact, ReconstructedArcsSumToCost) {
+  BroadcastStar s;
+  SteinerSolver solver(s.g);
+  const SteinerResult r = solver.exact_small(s.root, s.terminals);
+  double sum = 0;
+  for (const auto& arc : r.arcs) sum += arc.weight;
+  EXPECT_NEAR(sum, r.cost, 1e-12);
+}
+
+TEST(SteinerExact, ReconstructionValidOnRandomGraphs) {
+  for (unsigned seed = 30; seed <= 36; ++seed) {
+    Digraph g(14);
+    unsigned state = seed * 2654435761u;
+    auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 17;
+      state ^= state << 5;
+      return state;
+    };
+    for (VertexId u = 0; u < 14; ++u)
+      for (VertexId v = 0; v < 14; ++v)
+        if (u != v && next() % 100 < 25)
+          g.add_arc(u, v, 1.0 + static_cast<double>(next() % 50) / 5.0);
+    SteinerSolver solver(g);
+    const std::vector<VertexId> terminals{4, 9, 13};
+    const SteinerResult r = solver.exact_small(0, terminals);
+    if (!r.feasible) continue;
+    EXPECT_TRUE(solver.validate(r, 0, terminals)) << "seed " << seed;
+    double sum = 0;
+    for (const auto& arc : r.arcs) sum += arc.weight;
+    EXPECT_NEAR(sum, r.cost, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SteinerGreedyLevel2, NeverWorseThanLevel1OnStar) {
+  BroadcastStar s;
+  SteinerSolver solver(s.g);
+  const double c1 = solver.recursive_greedy(s.root, s.terminals, 1).cost;
+  const double c2 = solver.recursive_greedy(s.root, s.terminals, 2).cost;
+  EXPECT_LE(c2, c1 + 1e-9);
+}
+
+TEST(Steiner, SingleTerminalIsShortestPath) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1.0);
+  g.add_arc(1, 2, 1.0);
+  g.add_arc(0, 2, 5.0);
+  SteinerSolver solver(g);
+  for (int level : {1, 2}) {
+    const SteinerResult r = solver.recursive_greedy(0, {2}, level);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.cost, 2.0) << "level " << level;
+  }
+  EXPECT_DOUBLE_EQ(solver.shortest_path_heuristic(0, {2}).cost, 2.0);
+  EXPECT_DOUBLE_EQ(solver.exact_small(0, {2}).cost, 2.0);
+}
+
+TEST(Steiner, RootAsTerminalIsFree) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1.0);
+  SteinerSolver solver(g);
+  const SteinerResult r = solver.recursive_greedy(0, {0}, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(Steiner, UnreachableTerminalReportsInfeasible) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1.0);  // vertex 2 unreachable
+  SteinerSolver solver(g);
+  EXPECT_FALSE(solver.shortest_path_heuristic(0, {1, 2}).feasible);
+  EXPECT_FALSE(solver.recursive_greedy(0, {1, 2}, 2).feasible);
+  EXPECT_FALSE(solver.exact_small(0, {1, 2}).feasible);
+}
+
+TEST(Steiner, SharedTrunkCountedOnce) {
+  // root → trunk (cost 10) → two branches (cost 1 each).
+  Digraph g(4);
+  g.add_arc(0, 1, 10.0);
+  g.add_arc(1, 2, 1.0);
+  g.add_arc(1, 3, 1.0);
+  SteinerSolver solver(g);
+  for (int level : {1, 2}) {
+    const SteinerResult r = solver.recursive_greedy(0, {2, 3}, level);
+    EXPECT_DOUBLE_EQ(r.cost, 12.0) << "level " << level;
+  }
+  EXPECT_DOUBLE_EQ(solver.shortest_path_heuristic(0, {2, 3}).cost, 12.0);
+  EXPECT_DOUBLE_EQ(solver.exact_small(0, {2, 3}).cost, 12.0);
+}
+
+TEST(Steiner, ExactBeatsOrMatchesHeuristicsRandomGraphs) {
+  // Property check over several seeded random DAG-ish graphs.
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const VertexId n = 12;
+    Digraph g(n);
+    // Deterministic pseudo-random arcs.
+    unsigned state = seed * 2654435761u;
+    auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 17;
+      state ^= state << 5;
+      return state;
+    };
+    for (VertexId u = 0; u < n; ++u)
+      for (VertexId v = 0; v < n; ++v)
+        if (u != v && next() % 100 < 30)
+          g.add_arc(u, v, 1.0 + static_cast<double>(next() % 100) / 10.0);
+
+    std::vector<VertexId> terminals{3, 7, 11};
+    SteinerSolver solver(g);
+    const SteinerResult exact = solver.exact_small(0, terminals);
+    const SteinerResult spt = solver.shortest_path_heuristic(0, terminals);
+    const SteinerResult g1 = solver.recursive_greedy(0, terminals, 1);
+    const SteinerResult g2 = solver.recursive_greedy(0, terminals, 2);
+    ASSERT_EQ(exact.feasible, spt.feasible) << "seed " << seed;
+    if (!exact.feasible) continue;
+    EXPECT_LE(exact.cost, spt.cost + 1e-9) << "seed " << seed;
+    EXPECT_LE(exact.cost, g1.cost + 1e-9) << "seed " << seed;
+    EXPECT_LE(exact.cost, g2.cost + 1e-9) << "seed " << seed;
+    EXPECT_TRUE(solver.validate(spt, 0, terminals));
+    EXPECT_TRUE(solver.validate(g1, 0, terminals));
+    EXPECT_TRUE(solver.validate(g2, 0, terminals));
+  }
+}
+
+TEST(Steiner, ValidateRejectsFabricatedTree) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1.0);
+  SteinerSolver solver(g);
+  SteinerResult fake;
+  fake.arcs.push_back({0, 2, 1.0});  // arc not in graph
+  fake.cost = 1.0;
+  fake.feasible = true;
+  EXPECT_FALSE(solver.validate(fake, 0, {2}));
+}
+
+TEST(Steiner, ExactRejectsTooManyTerminals) {
+  Digraph g(20);
+  SteinerSolver solver(g);
+  std::vector<VertexId> terminals;
+  for (VertexId v = 1; v < 19; ++v) terminals.push_back(v);
+  EXPECT_THROW(solver.exact_small(0, terminals), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tveg::graph

@@ -1,0 +1,130 @@
+#include "nlp/augmented_lagrangian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace tveg::nlp {
+namespace {
+
+/// min x² + y²  s.t.  x + y >= 1  (i.e. 1 - x - y <= 0), box [-10, 10]².
+/// Optimum at (0.5, 0.5), value 0.5.
+class QuadraticProblem final : public NlpProblem {
+ public:
+  std::size_t dimension() const override { return 2; }
+  double lower(std::size_t) const override { return -10; }
+  double upper(std::size_t) const override { return 10; }
+  double objective(const std::vector<double>& w) const override {
+    return w[0] * w[0] + w[1] * w[1];
+  }
+  std::vector<double> objective_gradient(
+      const std::vector<double>& w) const override {
+    return {2 * w[0], 2 * w[1]};
+  }
+  std::size_t constraint_count() const override { return 1; }
+  double constraint(std::size_t, const std::vector<double>& w) const override {
+    return 1.0 - w[0] - w[1];
+  }
+  std::vector<double> constraint_gradient(
+      std::size_t, const std::vector<double>&) const override {
+    return {-1.0, -1.0};
+  }
+};
+
+TEST(AugmentedLagrangian, SolvesQuadraticWithActiveConstraint) {
+  QuadraticProblem p;
+  const NlpResult r = solve_augmented_lagrangian(p, {5.0, -3.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.w[0], 0.5, 1e-3);
+  EXPECT_NEAR(r.w[1], 0.5, 1e-3);
+  EXPECT_NEAR(r.objective, 0.5, 1e-3);
+}
+
+/// Unconstrained-in-practice problem: constraint already slack at optimum.
+class SlackProblem final : public NlpProblem {
+ public:
+  std::size_t dimension() const override { return 1; }
+  double lower(std::size_t) const override { return -5; }
+  double upper(std::size_t) const override { return 5; }
+  double objective(const std::vector<double>& w) const override {
+    return (w[0] - 2) * (w[0] - 2);
+  }
+  std::vector<double> objective_gradient(
+      const std::vector<double>& w) const override {
+    return {2 * (w[0] - 2)};
+  }
+  std::size_t constraint_count() const override { return 1; }
+  double constraint(std::size_t, const std::vector<double>& w) const override {
+    return w[0] - 4.0;  // w <= 4, slack at w = 2
+  }
+  std::vector<double> constraint_gradient(
+      std::size_t, const std::vector<double>&) const override {
+    return {1.0};
+  }
+};
+
+TEST(AugmentedLagrangian, IgnoresSlackConstraint) {
+  SlackProblem p;
+  const NlpResult r = solve_augmented_lagrangian(p, {-4.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.w[0], 2.0, 1e-4);
+}
+
+/// Box-bound-active problem: min w, w in [1, 5], no other constraints.
+class BoxProblem final : public NlpProblem {
+ public:
+  std::size_t dimension() const override { return 1; }
+  double lower(std::size_t) const override { return 1; }
+  double upper(std::size_t) const override { return 5; }
+  double objective(const std::vector<double>& w) const override {
+    return w[0];
+  }
+  std::vector<double> objective_gradient(
+      const std::vector<double>&) const override {
+    return {1.0};
+  }
+  std::size_t constraint_count() const override { return 0; }
+  double constraint(std::size_t, const std::vector<double>&) const override {
+    return 0;
+  }
+  std::vector<double> constraint_gradient(
+      std::size_t, const std::vector<double>&) const override {
+    return {};
+  }
+};
+
+TEST(AugmentedLagrangian, StopsAtBoxBound) {
+  BoxProblem p;
+  const NlpResult r = solve_augmented_lagrangian(p, {3.0});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.w[0], 1.0, 1e-6);
+}
+
+TEST(AugmentedLagrangian, ProjectsStartIntoBox) {
+  BoxProblem p;
+  const NlpResult r = solve_augmented_lagrangian(p, {-100.0});
+  EXPECT_GE(r.w[0], 1.0);
+}
+
+TEST(AugmentedLagrangian, RejectsWrongDimension) {
+  BoxProblem p;
+  EXPECT_THROW(solve_augmented_lagrangian(p, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(NlpProblem, MaxViolationAndProjection) {
+  QuadraticProblem p;
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(p.max_violation(w), 1.0);
+  w = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(p.max_violation(w), 0.0);
+  std::vector<double> z{-20.0, 20.0};
+  p.project_box(z);
+  EXPECT_DOUBLE_EQ(z[0], -10.0);
+  EXPECT_DOUBLE_EQ(z[1], 10.0);
+}
+
+}  // namespace
+}  // namespace tveg::nlp

@@ -1,0 +1,181 @@
+#include "nlp/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/ed_function.hpp"
+#include "nlp/augmented_lagrangian.hpp"
+#include "support/math.hpp"
+
+namespace tveg::nlp {
+namespace {
+
+using channel::RayleighEdFunction;
+
+constexpr double kEps = 0.01;
+
+TEST(IndependentAllocation, SingleTxSingleReceiver) {
+  RayleighEdFunction ed(2.0);
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  const auto w = independent_allocation(1, cs, kEps, 0.0, support::kInf);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0], ed.min_cost_for(kEps), 1e-12);
+}
+
+TEST(IndependentAllocation, PicksCheapestCoveringTx) {
+  RayleighEdFunction near_ed(1.0), far_ed(100.0);
+  // Receiver covered by tx0 (far) and tx1 (near): serve via tx1.
+  std::vector<CoverageConstraint> cs{{{{0, &far_ed}, {1, &near_ed}}}};
+  const auto w = independent_allocation(2, cs, kEps, 0.0, support::kInf);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_NEAR(w[1], near_ed.min_cost_for(kEps), 1e-12);
+}
+
+TEST(IndependentAllocation, IsFeasibleStart) {
+  RayleighEdFunction a(1.0), b(3.0), c(0.5);
+  std::vector<CoverageConstraint> cs{
+      {{{0, &a}, {1, &b}}},
+      {{{1, &c}}},
+  };
+  const auto w = independent_allocation(2, cs, kEps, 0.0, support::kInf);
+  for (const auto& constraint : cs) {
+    double prod = 1.0;
+    for (const auto& term : constraint.terms)
+      prod *= term.ed->failure_probability(w[term.tx]);
+    EXPECT_LE(prod, kEps + 1e-9);
+  }
+}
+
+TEST(CoordinateDescent, SingleConstraintMatchesClosedForm) {
+  RayleighEdFunction ed(2.0);
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  const auto r =
+      allocate_coordinate_descent(1, cs, kEps, 0.0, support::kInf);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.w[0], ed.min_cost_for(kEps), 1e-9);
+}
+
+TEST(CoordinateDescent, ExploitsOverlapToSaveEnergy) {
+  // Receiver covered by two equally-good transmissions: sharing the failure
+  // budget (each φ = √ε) costs 2·β/ln(1/(1-√ε)); serving via one costs
+  // β/ln(1/(1-ε)). For ε = 0.01: shared ≈ 2·β/0.105 ≈ 19β vs single ≈ 99.5β
+  // — so the solver should end up cheaper than the independent start.
+  RayleighEdFunction a(1.0), b(1.0);
+  std::vector<CoverageConstraint> cs{{{{0, &a}, {1, &b}}}};
+  const auto start = independent_allocation(2, cs, kEps, 0.0, support::kInf);
+  double start_total = start[0] + start[1];
+  const auto r = allocate_coordinate_descent(2, cs, kEps, 0.0, support::kInf);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.total, start_total + 1e-12);
+}
+
+TEST(CoordinateDescent, MonotoneNonIncreasingAcrossPasses) {
+  // The final objective never exceeds the independent start.
+  RayleighEdFunction e1(1.0), e2(2.0), e3(0.7);
+  std::vector<CoverageConstraint> cs{
+      {{{0, &e1}, {1, &e2}}},
+      {{{1, &e1}, {2, &e3}}},
+      {{{0, &e3}}},
+  };
+  const auto start = independent_allocation(3, cs, kEps, 0.0, support::kInf);
+  double start_total = 0;
+  for (double w : start) start_total += w;
+  const auto r = allocate_coordinate_descent(3, cs, kEps, 0.0, support::kInf);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.total, start_total + 1e-12);
+}
+
+TEST(CoordinateDescent, FinalPointSatisfiesAllConstraints) {
+  RayleighEdFunction e1(1.5), e2(2.5);
+  std::vector<CoverageConstraint> cs{
+      {{{0, &e1}}},
+      {{{0, &e2}, {1, &e1}}},
+      {{{1, &e2}}},
+  };
+  const auto r = allocate_coordinate_descent(2, cs, kEps, 0.0, support::kInf);
+  ASSERT_TRUE(r.feasible);
+  for (const auto& constraint : cs) {
+    double prod = 1.0;
+    for (const auto& term : constraint.terms)
+      prod *= term.ed->failure_probability(r.w[term.tx]);
+    EXPECT_LE(prod, kEps * (1 + 1e-6));
+  }
+}
+
+TEST(CoordinateDescent, UntouchedTxGetsWMin) {
+  RayleighEdFunction ed(1.0);
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  const auto r = allocate_coordinate_descent(3, cs, kEps, 0.0, support::kInf);
+  EXPECT_DOUBLE_EQ(r.w[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.w[2], 0.0);
+}
+
+TEST(CoordinateDescent, InfeasibleWhenWMaxTooSmall) {
+  RayleighEdFunction ed(2.0);
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  // w_max far below the required ε-cost.
+  const auto r = allocate_coordinate_descent(1, cs, kEps, 0.0,
+                                             ed.min_cost_for(kEps) / 100);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CoordinateDescent, InputValidation) {
+  RayleighEdFunction ed(1.0);
+  std::vector<CoverageConstraint> bad_tx{{{{5, &ed}}}};
+  EXPECT_THROW(
+      allocate_coordinate_descent(1, bad_tx, kEps, 0.0, support::kInf),
+      std::invalid_argument);
+  std::vector<CoverageConstraint> empty{{}};
+  EXPECT_THROW(
+      allocate_coordinate_descent(1, empty, kEps, 0.0, support::kInf),
+      std::invalid_argument);
+  std::vector<CoverageConstraint> ok{{{{0, &ed}}}};
+  EXPECT_THROW(allocate_coordinate_descent(1, ok, 1.5, 0.0, support::kInf),
+               std::invalid_argument);
+}
+
+TEST(EnergyAllocationProblem, ScalingRoundTrip) {
+  RayleighEdFunction ed(2.0e-18);  // physically tiny magnitudes
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  EnergyAllocationProblem p(1, cs, kEps, 0.0, support::kInf);
+  EXPECT_GT(p.scale(), 0.0);
+  const std::vector<Cost> w{3.0e-16};
+  EXPECT_NEAR(p.to_costs(p.from_costs(w))[0], w[0], 1e-24);
+}
+
+TEST(EnergyAllocationProblem, ConstraintSignConvention) {
+  RayleighEdFunction ed(2.0);
+  std::vector<CoverageConstraint> cs{{{{0, &ed}}}};
+  EnergyAllocationProblem p(1, cs, kEps, 0.0, support::kInf);
+  // At the ε-cost the constraint is exactly tight (= 0).
+  const auto x_tight = p.from_costs({ed.min_cost_for(kEps)});
+  EXPECT_NEAR(p.constraint(0, x_tight), 0.0, 1e-9);
+  // Below it: violated (> 0); above it: satisfied (< 0).
+  const auto x_low = p.from_costs({ed.min_cost_for(kEps) * 0.5});
+  EXPECT_GT(p.constraint(0, x_low), 0.0);
+  const auto x_high = p.from_costs({ed.min_cost_for(kEps) * 2.0});
+  EXPECT_LT(p.constraint(0, x_high), 0.0);
+}
+
+TEST(EnergyAllocationProblem, AugmentedLagrangianAgreesWithCoordinateDescent) {
+  RayleighEdFunction e1(1.0), e2(2.0);
+  std::vector<CoverageConstraint> cs{
+      {{{0, &e1}, {1, &e2}}},
+      {{{1, &e1}}},
+  };
+  const auto cd = allocate_coordinate_descent(2, cs, kEps, 0.0, support::kInf);
+  ASSERT_TRUE(cd.feasible);
+
+  EnergyAllocationProblem p(2, cs, kEps, 0.0, support::kInf);
+  const auto w0 = independent_allocation(2, cs, kEps, 0.0, support::kInf);
+  const NlpResult al = solve_augmented_lagrangian(p, p.from_costs(w0));
+  ASSERT_TRUE(al.feasible);
+  const auto al_w = p.to_costs(al.w);
+  double al_total = al_w[0] + al_w[1];
+  // The two solvers should land within a few percent of each other.
+  EXPECT_NEAR(al_total, cd.total, 0.1 * cd.total);
+}
+
+}  // namespace
+}  // namespace tveg::nlp

@@ -1,0 +1,111 @@
+// Cross-component consistency: the analytic cascade (Eq. 6 semantics in
+// core/schedule.cpp) and the Monte-Carlo executor (sim/monte_carlo.cpp)
+// implement the same stochastic process two different ways — their answers
+// must agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/eedcb.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::sim {
+namespace {
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+class ConsistencySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencySeeds, FeasibleStepScheduleDeliversFullyInSimulation) {
+  trace::SnapshotConfig cfg;
+  cfg.nodes = 8;
+  cfg.slot = 25;
+  cfg.horizon = 200;
+  cfg.p = 0.3;
+  cfg.seed = GetParam();
+  const core::Tveg tveg(trace::generate_snapshots(cfg), unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance inst{&tveg, 0, 200.0};
+  const auto r = run_eedcb(inst);
+  if (!r.covered_all) GTEST_SKIP() << "instance not connected";
+  ASSERT_TRUE(core::check_feasibility(inst, r.schedule).feasible);
+  // Deterministic channel: the simulator must agree with the checker
+  // exactly, on every trial.
+  const auto stats = simulate_delivery(tveg, 0, r.schedule, {.trials = 50});
+  EXPECT_DOUBLE_EQ(stats.mean_delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.full_delivery_fraction, 1.0);
+}
+
+TEST_P(ConsistencySeeds, CascadeProbabilitiesMatchMonteCarloFrequencies) {
+  // Source-only schedules (every transmission by the source) make Eq. 6's
+  // product exact — no relay-possession correlations — so the analytic
+  // p_{i,T} and the per-node MC uninformed frequencies must agree within
+  // binomial error.
+  trace::SnapshotConfig cfg;
+  cfg.nodes = 6;
+  cfg.slot = 25;
+  cfg.horizon = 200;
+  cfg.p = 0.5;
+  cfg.seed = GetParam() + 100;
+  const core::Tveg tveg(trace::generate_snapshots(cfg), unit_radio(),
+                        {.model = channel::ChannelModel::kRayleigh});
+  const core::TmedbInstance inst{&tveg, 0, 200.0};
+
+  // Random source transmissions at its DTS points, modest powers so the
+  // probabilities are far from 0/1.
+  const auto dts = tveg.build_dts();
+  support::Rng rng(GetParam());
+  core::Schedule s;
+  for (Time t : dts.points(0)) {
+    if (t + 1e-9 >= inst.deadline) break;
+    if (tveg.graph().neighbors_at(0, t).empty()) continue;
+    if (!rng.bernoulli(0.6)) continue;
+    s.add(0, t, rng.uniform(0.5, 4.0));  // β is O(1–16) at d ∈ [1, 4]
+  }
+  if (s.empty()) GTEST_SKIP() << "no transmissions drawn";
+
+  const auto p = uninformed_probabilities(inst, s, inst.deadline);
+
+  // Empirical per-node uninformed frequency.
+  const std::size_t trials = 20000;
+  std::vector<std::size_t> uninformed_count(6, 0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    support::Rng trial_rng(GetParam() * 7919 + trial);
+    std::vector<char> informed(6, 0);
+    informed[0] = 1;
+    for (const core::Transmission& tx : s.transmissions())
+      for (NodeId j : tveg.graph().neighbors_at(0, tx.time)) {
+        if (informed[static_cast<std::size_t>(j)]) continue;
+        const double phi = tveg.failure_probability(0, j, tx.time, tx.cost);
+        if (!trial_rng.bernoulli(phi)) informed[static_cast<std::size_t>(j)] = 1;
+      }
+    for (NodeId v = 0; v < 6; ++v)
+      if (!informed[static_cast<std::size_t>(v)])
+        ++uninformed_count[static_cast<std::size_t>(v)];
+  }
+
+  for (NodeId v = 0; v < 6; ++v) {
+    const double freq = static_cast<double>(uninformed_count[v]) / trials;
+    // Binomial 5σ band.
+    const double sigma =
+        std::sqrt(std::max(p[v] * (1 - p[v]), 1e-6) / trials);
+    EXPECT_NEAR(freq, p[v], 5 * sigma + 1e-3) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace tveg::sim

@@ -1,0 +1,119 @@
+// Regression guards for the figure *shapes* the paper reports — small,
+// seeded versions of what the bench binaries measure at scale. If one of
+// these fails after a change, a headline claim of the reproduction broke.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::sim {
+namespace {
+
+trace::ContactTrace shape_trace(NodeId nodes, std::uint64_t seed) {
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.horizon = 8000;
+  cfg.pair_probability = std::min(1.0, 9.0 / (nodes - 1));
+  cfg.activation_ramp_end = 500;
+  cfg.seed = seed;
+  return trace::generate_haggle_like(cfg);
+}
+
+double mean_energy(const Workbench& bench, Algorithm a, Time deadline) {
+  support::RunningStat stat;
+  for (NodeId src : {0, 3, 6}) {
+    const auto outcome = bench.run(a, src, deadline, src + 1);
+    if (outcome.covered_all && outcome.allocation_feasible)
+      stat.add(outcome.normalized_energy);
+  }
+  return stat.empty() ? -1 : stat.mean();
+}
+
+TEST(FigureShapes, Fig4EnergyFallsWithDeadline) {
+  const Workbench bench(shape_trace(14, 2), paper_radio());
+  const double tight = mean_energy(bench, Algorithm::kEedcb, 2000);
+  const double loose = mean_energy(bench, Algorithm::kEedcb, 7000);
+  ASSERT_GT(tight, 0);
+  ASSERT_GT(loose, 0);
+  EXPECT_LT(loose, tight);
+}
+
+TEST(FigureShapes, Fig4EnergyRisesWithN) {
+  const Workbench small(shape_trace(10, 2), paper_radio());
+  const Workbench large(shape_trace(20, 2), paper_radio());
+  const double e_small = mean_energy(small, Algorithm::kEedcb, 5000);
+  const double e_large = mean_energy(large, Algorithm::kEedcb, 5000);
+  ASSERT_GT(e_small, 0);
+  ASSERT_GT(e_large, 0);
+  EXPECT_GT(e_large, e_small);
+}
+
+TEST(FigureShapes, Fig5StaticOrdering) {
+  const Workbench bench(shape_trace(14, 3), paper_radio());
+  const double eedcb = mean_energy(bench, Algorithm::kEedcb, 5000);
+  const double greed = mean_energy(bench, Algorithm::kGreed, 5000);
+  const double rand = mean_energy(bench, Algorithm::kRand, 5000);
+  ASSERT_GT(eedcb, 0);
+  EXPECT_LT(eedcb, greed);
+  EXPECT_LT(greed, rand * 1.1);  // RAND can tie GREED on sparse traces
+}
+
+TEST(FigureShapes, Fig5FadingOrdering) {
+  const Workbench bench(shape_trace(14, 3), paper_radio());
+  const double fr_eedcb = mean_energy(bench, Algorithm::kFrEedcb, 5000);
+  const double fr_greed = mean_energy(bench, Algorithm::kFrGreed, 5000);
+  const double fr_rand = mean_energy(bench, Algorithm::kFrRand, 5000);
+  ASSERT_GT(fr_eedcb, 0);
+  EXPECT_LT(fr_eedcb, fr_greed);
+  EXPECT_LT(fr_greed, fr_rand * 1.1);
+}
+
+TEST(FigureShapes, Fig6FrBeatsStaticOnDeliveryLosesOnEnergy) {
+  const Workbench bench(shape_trace(14, 4), paper_radio());
+  const auto eedcb = bench.run(Algorithm::kEedcb, 0, 5000, 1);
+  const auto fr = bench.run(Algorithm::kFrEedcb, 0, 5000, 1);
+  ASSERT_TRUE(eedcb.covered_all);
+  ASSERT_TRUE(fr.covered_all && fr.allocation_feasible);
+  EXPECT_GT(fr.normalized_energy, eedcb.normalized_energy * 10);
+  const auto d_static = bench.delivery_under_fading(0, eedcb.schedule,
+                                                    {.trials = 600, .seed = 2});
+  const auto d_fr =
+      bench.delivery_under_fading(0, fr.schedule, {.trials = 600, .seed = 2});
+  EXPECT_GT(d_fr.mean_delivery_ratio, d_static.mean_delivery_ratio + 0.25);
+  EXPECT_GT(d_fr.mean_delivery_ratio, 0.95);
+}
+
+TEST(FigureShapes, Fig7DegreeRampLowersEnergy) {
+  // Ramped trace: an early window (low degree) must cost more than a late
+  // window (plateau degree) for EEDCB.
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = 16;
+  cfg.horizon = 17000;
+  cfg.pair_probability = 0.6;
+  cfg.activation_ramp_end = 8000;
+  cfg.seed = 5;
+  const auto trace = trace::generate_haggle_like(cfg);
+  ASSERT_LT(trace.average_degree(5500), trace.average_degree(10000));
+
+  const Workbench early(trace.window(5000, 7000), paper_radio());
+  const Workbench late(trace.window(10000, 12000), paper_radio());
+  const double e_early = mean_energy(early, Algorithm::kEedcb, 2000);
+  const double e_late = mean_energy(late, Algorithm::kEedcb, 2000);
+  ASSERT_GT(e_early, 0);
+  ASSERT_GT(e_late, 0);
+  EXPECT_GT(e_early, e_late);
+}
+
+TEST(FigureShapes, GreedUsesLooserDeadlines) {
+  // The global-action GREED (DESIGN.md decision 3) must not be
+  // deadline-oblivious: energy at T = 7000 stays at or below T = 2000.
+  const Workbench bench(shape_trace(14, 6), paper_radio());
+  const double tight = mean_energy(bench, Algorithm::kGreed, 2000);
+  const double loose = mean_energy(bench, Algorithm::kGreed, 7000);
+  ASSERT_GT(tight, 0);
+  ASSERT_GT(loose, 0);
+  EXPECT_LE(loose, tight * 1.05);
+}
+
+}  // namespace
+}  // namespace tveg::sim

@@ -1,0 +1,215 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace tveg::sim {
+namespace {
+
+channel::RadioParams test_radio() {
+  channel::RadioParams r;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+core::Tveg line_tveg(channel::ChannelModel model) {
+  trace::ContactTrace t(3, 100.0);
+  t.add({0, 1, 0.0, 100.0, 1.0});
+  t.add({1, 2, 0.0, 100.0, 1.0});
+  return core::Tveg(t, test_radio(), {.model = model});
+}
+
+TEST(MonteCarlo, DeterministicStepScheduleDeliversFully) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  core::Schedule s;
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  s.add(0, 10.0, w);
+  s.add(1, 20.0, w);
+  const auto stats = simulate_delivery(tveg, 0, s, {.trials = 200});
+  EXPECT_DOUBLE_EQ(stats.mean_delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.full_delivery_fraction, 1.0);
+}
+
+TEST(MonteCarlo, SingleRayleighLinkMatchesAnalyticProbability) {
+  const auto tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  core::Schedule s;
+  const double beta = tveg.radio().rayleigh_beta(1.0);
+  s.add(0, 10.0, beta);  // success probability e^{-1}
+  const auto stats =
+      simulate_delivery(tveg, 0, s, {.trials = 20000, .seed = 5});
+  const double success = std::exp(-1.0);
+  // Expected ratio = (1 + success + 0) / 3 (source + maybe node 1).
+  EXPECT_NEAR(stats.mean_delivery_ratio, (1.0 + success) / 3.0, 0.01);
+  EXPECT_DOUBLE_EQ(stats.full_delivery_fraction, 0.0);  // node 2 never hears
+}
+
+TEST(MonteCarlo, RelayOnlyForwardsWhatItReceived) {
+  const auto tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  core::Schedule s;
+  const double beta = tveg.radio().rayleigh_beta(1.0);
+  s.add(0, 10.0, beta);  // success e^{-1}
+  s.add(1, 20.0, beta);  // fires only if 1 received
+  const auto stats =
+      simulate_delivery(tveg, 0, s, {.trials = 20000, .seed = 7});
+  const double p1 = std::exp(-1.0);
+  const double p2 = p1 * p1;  // needs both hops
+  EXPECT_NEAR(stats.mean_delivery_ratio, (1.0 + p1 + p2) / 3.0, 0.01);
+  EXPECT_NEAR(stats.full_delivery_fraction, p2, 0.01);
+}
+
+TEST(MonteCarlo, SameTimeCascadeWorksAtZeroTau) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  core::Schedule s;
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  s.add(0, 10.0, w);
+  s.add(1, 10.0, w);  // non-stop journey
+  const auto stats = simulate_delivery(tveg, 0, s, {.trials = 100});
+  EXPECT_DOUBLE_EQ(stats.mean_delivery_ratio, 1.0);
+}
+
+TEST(MonteCarlo, ReverseSortedSameTimeCascadeStillWorks) {
+  // Relay with the higher node id fires first in sorted order; the fixpoint
+  // must still resolve the chain 0 → 1 → 2.
+  trace::ContactTrace t(3, 100.0);
+  t.add({1, 2, 0.0, 100.0, 1.0});
+  t.add({0, 2, 0.0, 100.0, 1.0});  // 2 is informed by 0 directly
+  const core::Tveg tveg(t, test_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  core::Schedule s;
+  const Cost w = tveg.edge_weight(0, 2, 0.0);
+  s.add(2, 10.0, w);  // sorted after 0's tx (same time, higher relay id)...
+  s.add(0, 10.0, w);
+  const auto stats = simulate_delivery(tveg, 0, s, {.trials = 50});
+  EXPECT_DOUBLE_EQ(stats.mean_delivery_ratio, 1.0);
+}
+
+TEST(MonteCarlo, HigherPowerImprovesDelivery) {
+  const auto tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  const double beta = tveg.radio().rayleigh_beta(1.0);
+  core::Schedule low, high;
+  low.add(0, 10.0, beta);
+  high.add(0, 10.0, 100 * beta);
+  const auto stats_low =
+      simulate_delivery(tveg, 0, low, {.trials = 5000, .seed = 3});
+  const auto stats_high =
+      simulate_delivery(tveg, 0, high, {.trials = 5000, .seed = 3});
+  EXPECT_GT(stats_high.mean_delivery_ratio, stats_low.mean_delivery_ratio);
+}
+
+TEST(MonteCarlo, DeterministicForSeedSerialVsParallel) {
+  const auto tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  core::Schedule s;
+  s.add(0, 10.0, tveg.radio().rayleigh_beta(1.0));
+  const auto serial = simulate_delivery(
+      tveg, 0, s, {.trials = 500, .seed = 11, .parallel = false});
+  const auto parallel = simulate_delivery(
+      tveg, 0, s, {.trials = 500, .seed = 11, .parallel = true});
+  EXPECT_DOUBLE_EQ(serial.mean_delivery_ratio, parallel.mean_delivery_ratio);
+}
+
+TEST(MonteCarlo, InputValidation) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  core::Schedule s;
+  EXPECT_THROW(simulate_delivery(tveg, 0, s, {.trials = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_delivery(tveg, 9, s, {.trials = 1}),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, EmptyScheduleDeliversSourceOnly) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  const auto stats =
+      simulate_delivery(tveg, 0, core::Schedule{}, {.trials = 10});
+  EXPECT_NEAR(stats.mean_delivery_ratio, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MonteCarloExtensions, PresenceReliabilityMatchesAnalytic) {
+  // Single step-channel hop on an edge up with probability q: delivery of
+  // node 1 is exactly q.
+  trace::ContactTrace t(2, 100.0);
+  t.add({0, 1, 0.0, 100.0, 1.0});
+  const core::Tveg tveg(t, test_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  core::Schedule s;
+  s.add(0, 10.0, tveg.edge_weight(0, 1, 0.0));
+  McOptions options;
+  options.trials = 20000;
+  options.seed = 3;
+  options.presence_reliability = 0.7;
+  const auto stats = simulate_delivery(tveg, 0, s, options);
+  EXPECT_NEAR(stats.mean_delivery_ratio, (1.0 + 0.7) / 2.0, 0.01);
+}
+
+TEST(MonteCarloExtensions, FullReliabilityEqualsPlainModel) {
+  const auto tveg = line_tveg(channel::ChannelModel::kRayleigh);
+  core::Schedule s;
+  s.add(0, 10.0, tveg.radio().rayleigh_beta(1.0));
+  McOptions plain{.trials = 500, .seed = 11, .parallel = false};
+  McOptions with_presence = plain;
+  with_presence.presence_reliability = 1.0;
+  EXPECT_DOUBLE_EQ(
+      simulate_delivery(tveg, 0, s, plain).mean_delivery_ratio,
+      simulate_delivery(tveg, 0, s, with_presence).mean_delivery_ratio);
+}
+
+TEST(MonteCarloExtensions, InterferenceCollisionBlocksReceiver) {
+  // 0 informs 1 at t = 5 over a private early contact; at t = 10 both 0 and
+  // 1 transmit and collide at receiver 2, which decodes neither.
+  trace::ContactTrace t2(3, 100.0);
+  t2.add({0, 1, 0.0, 8.0, 1.0});    // private early contact
+  t2.add({0, 2, 9.0, 100.0, 1.0});  // both in range of 2 from t = 9
+  t2.add({1, 2, 9.0, 100.0, 1.0});
+  const core::Tveg tveg2(t2, test_radio(),
+                         {.model = channel::ChannelModel::kStep});
+  const Cost w2 = tveg2.edge_weight(0, 1, 0.0);
+  core::Schedule concurrent;
+  concurrent.add(0, 5.0, w2);
+  concurrent.add(0, 10.0, tveg2.edge_weight(0, 2, 10.0));
+  concurrent.add(1, 10.0, tveg2.edge_weight(1, 2, 10.0));
+
+  McOptions options{.trials = 200, .seed = 5};
+  options.model_interference = true;
+  const auto stats = simulate_delivery(tveg2, 0, concurrent, options);
+  // 0 and 1 informed; 2 never (always a collision at t = 10).
+  EXPECT_NEAR(stats.mean_delivery_ratio, 2.0 / 3.0, 1e-12);
+
+  // Staggering the two transmissions resolves the collision.
+  core::Schedule staggered;
+  staggered.add(0, 5.0, w2);
+  staggered.add(0, 10.0, tveg2.edge_weight(0, 2, 10.0));
+  staggered.add(1, 20.0, tveg2.edge_weight(1, 2, 20.0));
+  const auto ok = simulate_delivery(tveg2, 0, staggered, options);
+  EXPECT_DOUBLE_EQ(ok.mean_delivery_ratio, 1.0);
+}
+
+TEST(MonteCarloExtensions, InterferenceDisablesSameTimeCascade) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  const Cost w = tveg.edge_weight(0, 1, 0.0);
+  core::Schedule s;
+  s.add(0, 10.0, w);
+  s.add(1, 10.0, w);  // legal non-stop journey in the plain model...
+  McOptions options{.trials = 100, .seed = 2};
+  const auto plain = simulate_delivery(tveg, 0, s, options);
+  EXPECT_DOUBLE_EQ(plain.mean_delivery_ratio, 1.0);
+  options.model_interference = true;  // ...but not when rx/tx can't overlap
+  const auto interfered = simulate_delivery(tveg, 0, s, options);
+  EXPECT_NEAR(interfered.mean_delivery_ratio, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MonteCarloExtensions, ReliabilityValidation) {
+  const auto tveg = line_tveg(channel::ChannelModel::kStep);
+  McOptions options{.trials = 1};
+  options.presence_reliability = 0.0;
+  EXPECT_THROW(simulate_delivery(tveg, 0, core::Schedule{}, options),
+               std::invalid_argument);
+  options.presence_reliability = 1.5;
+  EXPECT_THROW(simulate_delivery(tveg, 0, core::Schedule{}, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tveg::sim

@@ -1,0 +1,50 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tveg::support {
+namespace {
+
+TEST(Math, AlmostEqualAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+}
+
+TEST(Math, AlmostEqualRelative) {
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(almost_equal(1e12, 1.001e12));
+}
+
+TEST(Math, AlmostLeq) {
+  EXPECT_TRUE(almost_leq(1.0, 2.0));
+  EXPECT_TRUE(almost_leq(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(almost_leq(1.1, 1.0));
+}
+
+TEST(Math, DbConversionRoundTrip) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_NEAR(linear_to_db(db_to_linear(25.9)), 25.9, 1e-9);
+}
+
+TEST(Math, PaperDecodingThreshold) {
+  // γ_th = 25.9 dB ≈ 389 in linear scale (Sec. VII parameters).
+  EXPECT_NEAR(db_to_linear(25.9), 389.0, 1.0);
+}
+
+TEST(Math, SafeLogFloorsAtTinyValues) {
+  EXPECT_DOUBLE_EQ(safe_log(1.0), 0.0);
+  EXPECT_TRUE(std::isfinite(safe_log(0.0)));
+  EXPECT_LT(safe_log(0.0), -600.0);
+}
+
+TEST(Math, InfinityConstant) {
+  EXPECT_TRUE(std::isinf(kInf));
+  EXPECT_GT(kInf, 1e308);
+}
+
+}  // namespace
+}  // namespace tveg::support

@@ -1,0 +1,74 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tveg::support {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, OffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tveg::support

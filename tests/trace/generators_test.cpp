@@ -1,0 +1,182 @@
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace tveg::trace {
+namespace {
+
+TEST(HaggleLike, DeterministicForSeed) {
+  HaggleLikeConfig cfg;
+  cfg.nodes = 10;
+  cfg.horizon = 5000;
+  cfg.activation_ramp_end = 2000;
+  cfg.seed = 9;
+  const auto a = generate_haggle_like(cfg);
+  const auto b = generate_haggle_like(cfg);
+  EXPECT_EQ(a.contacts(), b.contacts());
+  cfg.seed = 10;
+  const auto c = generate_haggle_like(cfg);
+  EXPECT_NE(a.contacts(), c.contacts());
+}
+
+TEST(HaggleLike, RespectsBounds) {
+  HaggleLikeConfig cfg;
+  cfg.nodes = 15;
+  cfg.horizon = 8000;
+  cfg.activation_ramp_end = 3000;
+  const auto t = generate_haggle_like(cfg);
+  EXPECT_EQ(t.node_count(), 15);
+  for (const auto& c : t.contacts()) {
+    EXPECT_GE(c.start, 0.0);
+    EXPECT_LE(c.end, cfg.horizon);
+    EXPECT_GE(c.distance, cfg.min_distance);
+    EXPECT_LE(c.distance, cfg.max_distance);
+    EXPECT_LE(c.end - c.start, cfg.max_duration + 1e-9);
+  }
+}
+
+TEST(HaggleLike, InterContactGapsRespectParetoScale) {
+  HaggleLikeConfig cfg;
+  cfg.nodes = 12;
+  cfg.horizon = 17000;
+  const auto t = generate_haggle_like(cfg);
+  for (Time gap : t.inter_contact_times())
+    EXPECT_GE(gap, cfg.pareto_scale - 1e-9);
+}
+
+TEST(HaggleLike, DegreeRampsUpThenPlateaus) {
+  HaggleLikeConfig cfg;
+  cfg.nodes = 20;
+  cfg.horizon = 17000;
+  cfg.activation_ramp_end = 8000;
+  cfg.seed = 4;
+  const auto t = generate_haggle_like(cfg);
+  // Average degree over the early window must be clearly below the late
+  // window (the Fig. 7 warm-up shape).
+  auto window_degree = [&](Time lo, Time hi) {
+    support::RunningStat s;
+    for (Time x = lo; x < hi; x += 100) s.add(t.average_degree(x));
+    return s.mean();
+  };
+  const double early = window_degree(0, 4000);
+  const double late = window_degree(9000, 16000);
+  EXPECT_LT(early, 0.7 * late);
+}
+
+TEST(HaggleLike, ValidatesConfig) {
+  HaggleLikeConfig cfg;
+  cfg.pair_probability = 0.0;
+  EXPECT_THROW(generate_haggle_like(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.activation_ramp_end = cfg.horizon + 1;
+  EXPECT_THROW(generate_haggle_like(cfg), std::invalid_argument);
+}
+
+TEST(RandomWaypoint, ContactsCarryRealDistances) {
+  RandomWaypointConfig cfg;
+  cfg.nodes = 8;
+  cfg.horizon = 600;
+  cfg.seed = 2;
+  const auto t = generate_random_waypoint(cfg);
+  for (const auto& c : t.contacts()) {
+    EXPECT_GT(c.distance, 0.0);
+    EXPECT_LE(c.distance, cfg.comm_range + cfg.distance_quantum);
+    EXPECT_GE(c.start, 0.0);
+    EXPECT_LE(c.end, cfg.horizon);
+  }
+}
+
+TEST(RandomWaypoint, Deterministic) {
+  RandomWaypointConfig cfg;
+  cfg.nodes = 6;
+  cfg.horizon = 400;
+  cfg.seed = 5;
+  EXPECT_EQ(generate_random_waypoint(cfg).contacts(),
+            generate_random_waypoint(cfg).contacts());
+}
+
+TEST(RandomWaypoint, DistanceChangesSplitContacts) {
+  RandomWaypointConfig cfg;
+  cfg.nodes = 10;
+  cfg.horizon = 1200;
+  cfg.area = 40.0;  // dense arena: many contacts
+  cfg.seed = 3;
+  const auto t = generate_random_waypoint(cfg);
+  ASSERT_GT(t.contact_count(), 0u);
+  // Some same-pair contacts must abut exactly (distance-bucket splits).
+  bool found_abutting = false;
+  const auto& cs = t.contacts();
+  for (std::size_t i = 0; i < cs.size() && !found_abutting; ++i)
+    for (std::size_t j = 0; j < cs.size(); ++j)
+      if (i != j && cs[i].a == cs[j].a && cs[i].b == cs[j].b &&
+          std::fabs(cs[i].end - cs[j].start) < 1e-9 &&
+          cs[i].distance != cs[j].distance) {
+        found_abutting = true;
+        break;
+      }
+  EXPECT_TRUE(found_abutting);
+}
+
+TEST(DutyCycle, AwakeWindowsOnly) {
+  DutyCycleConfig cfg;
+  cfg.nodes = 12;
+  cfg.horizon = 1000;
+  cfg.period = 100;
+  cfg.duty = 0.25;
+  cfg.seed = 7;
+  const auto t = generate_duty_cycle(cfg);
+  // No single contact may exceed the awake window length.
+  for (const auto& c : t.contacts())
+    EXPECT_LE(c.end - c.start, cfg.duty * cfg.period + 1e-9);
+}
+
+TEST(DutyCycle, StaticDistancesPerPair) {
+  DutyCycleConfig cfg;
+  cfg.nodes = 10;
+  cfg.horizon = 600;
+  cfg.seed = 11;
+  const auto t = generate_duty_cycle(cfg);
+  // All contacts of one pair share the same (static) distance.
+  for (std::size_t i = 0; i < t.contact_count(); ++i)
+    for (std::size_t j = i + 1; j < t.contact_count(); ++j) {
+      const auto& a = t.contacts()[i];
+      const auto& b = t.contacts()[j];
+      if (a.a == b.a && a.b == b.b)
+        EXPECT_DOUBLE_EQ(a.distance, b.distance);
+    }
+}
+
+TEST(Snapshots, SlotAligned) {
+  SnapshotConfig cfg;
+  cfg.nodes = 8;
+  cfg.slot = 50;
+  cfg.horizon = 500;
+  cfg.seed = 13;
+  const auto t = generate_snapshots(cfg);
+  ASSERT_GT(t.contact_count(), 0u);
+  for (const auto& c : t.contacts()) {
+    EXPECT_NEAR(std::fmod(c.start, cfg.slot), 0.0, 1e-9);
+    EXPECT_LE(c.end - c.start, cfg.slot + 1e-9);
+  }
+}
+
+TEST(Snapshots, DensityTracksP) {
+  SnapshotConfig cfg;
+  cfg.nodes = 10;
+  cfg.slot = 10;
+  cfg.horizon = 2000;
+  cfg.p = 0.2;
+  const auto t = generate_snapshots(cfg);
+  const double slots = cfg.horizon / cfg.slot;
+  const double pairs = 45.0;
+  const double expected = slots * pairs * cfg.p;
+  EXPECT_NEAR(static_cast<double>(t.contact_count()) / expected, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tveg::trace

@@ -1,0 +1,76 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tveg::trace {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  ContactTrace t(3, 50.0);
+  t.add({0, 1, 1.0, 2.5, 3.25});
+  t.add({1, 2, 10.0, 20.0, 7.0});
+  t.sort();
+
+  std::stringstream ss;
+  write_trace(ss, t);
+  const ContactTrace back = read_trace(ss);
+
+  EXPECT_EQ(back.node_count(), 3);
+  EXPECT_DOUBLE_EQ(back.horizon(), 50.0);
+  ASSERT_EQ(back.contact_count(), 2u);
+  EXPECT_EQ(back.contacts(), t.contacts());
+}
+
+TEST(TraceIo, ReadsHeaderlessCrawdadFormat) {
+  std::stringstream ss("0 1 5 10\n1 2 8 12\n");
+  const ContactTrace t = read_trace(ss, 3, 20.0, 4.0);
+  EXPECT_EQ(t.node_count(), 3);
+  EXPECT_DOUBLE_EQ(t.horizon(), 20.0);
+  ASSERT_EQ(t.contact_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.contacts()[0].distance, 4.0);  // default applied
+}
+
+TEST(TraceIo, InfersNodesAndHorizonWhenAbsent) {
+  std::stringstream ss("0 1 5 10\n2 3 8 12\n");
+  const ContactTrace t = read_trace(ss);
+  EXPECT_EQ(t.node_count(), 4);
+  EXPECT_DOUBLE_EQ(t.horizon(), 12.0);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# a comment\n\n0 1 5 10 2.5\n");
+  const ContactTrace t = read_trace(ss);
+  ASSERT_EQ(t.contact_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.contacts()[0].distance, 2.5);
+}
+
+TEST(TraceIo, ClipsContactsBeyondDeclaredHorizon) {
+  std::stringstream ss("# tveg-trace nodes=2 horizon=8\n0 1 5 10\n");
+  const ContactTrace t = read_trace(ss);
+  ASSERT_EQ(t.contact_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.contacts()[0].end, 8.0);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::stringstream ss("0 1 oops 10\n");
+  EXPECT_THROW(read_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path.trace"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  ContactTrace t(2, 10.0);
+  t.add({0, 1, 1.0, 2.0, 1.5});
+  const std::string path = ::testing::TempDir() + "/tveg_io_test.trace";
+  write_trace_file(path, t);
+  const ContactTrace back = read_trace_file(path);
+  EXPECT_EQ(back.contacts(), t.contacts());
+}
+
+}  // namespace
+}  // namespace tveg::trace

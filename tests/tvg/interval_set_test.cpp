@@ -1,0 +1,176 @@
+#include "tvg/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace tveg {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_DOUBLE_EQ(s.total_length(), 0.0);
+}
+
+TEST(IntervalSet, AddAndContainsHalfOpen) {
+  IntervalSet s;
+  s.add(1.0, 3.0);
+  EXPECT_TRUE(s.contains(1.0));
+  EXPECT_TRUE(s.contains(2.9));
+  EXPECT_FALSE(s.contains(3.0));  // half-open right end
+  EXPECT_FALSE(s.contains(0.999));
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.add(1.0, 3.0);
+  s.add(2.0, 5.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].end, 5.0);
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet s;
+  s.add(1.0, 2.0);
+  s.add(2.0, 3.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_length(), 2.0);
+}
+
+TEST(IntervalSet, KeepsDisjoint) {
+  IntervalSet s;
+  s.add(1.0, 2.0);
+  s.add(3.0, 4.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.total_length(), 2.0);
+}
+
+TEST(IntervalSet, RejectsEmptyInterval) {
+  IntervalSet s;
+  EXPECT_THROW(s.add(2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(s.add(3.0, 1.0), std::invalid_argument);
+}
+
+TEST(IntervalSet, ConstructorNormalizes) {
+  IntervalSet s({{3.0, 4.0}, {1.0, 2.5}, {2.0, 3.5}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].end, 4.0);
+}
+
+TEST(IntervalSet, CoversClosedIncludesRightEndpoint) {
+  IntervalSet s;
+  s.add(1.0, 3.0);
+  EXPECT_TRUE(s.covers_closed(1.0, 3.0));  // a transmission may end at 3.0
+  EXPECT_TRUE(s.covers_closed(2.0, 2.5));
+  EXPECT_FALSE(s.covers_closed(0.5, 2.0));
+  EXPECT_FALSE(s.covers_closed(2.0, 3.1));
+}
+
+TEST(IntervalSet, CoversClosedAcrossGap) {
+  IntervalSet s;
+  s.add(0.0, 1.0);
+  s.add(2.0, 3.0);
+  EXPECT_FALSE(s.covers_closed(0.5, 2.5));
+}
+
+TEST(IntervalSet, Unite) {
+  IntervalSet a, b;
+  a.add(0.0, 2.0);
+  b.add(1.0, 3.0);
+  b.add(5.0, 6.0);
+  const IntervalSet u = a.unite(b);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u.total_length(), 4.0);
+}
+
+TEST(IntervalSet, Intersect) {
+  IntervalSet a, b;
+  a.add(0.0, 5.0);
+  a.add(7.0, 9.0);
+  b.add(3.0, 8.0);
+  const IntervalSet i = a.intersect(b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_DOUBLE_EQ(i.intervals()[0].start, 3.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[0].end, 5.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[1].start, 7.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[1].end, 8.0);
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+  IntervalSet a, b;
+  a.add(0.0, 1.0);
+  b.add(2.0, 3.0);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  IntervalSet s;
+  s.add(1.0, 2.0);
+  s.add(3.0, 4.0);
+  const IntervalSet c = s.complement(0.0, 5.0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.total_length(), 3.0);
+  EXPECT_TRUE(c.contains(0.5));
+  EXPECT_TRUE(c.contains(2.5));
+  EXPECT_TRUE(c.contains(4.5));
+  EXPECT_FALSE(c.contains(1.5));
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsWhole) {
+  IntervalSet s;
+  const IntervalSet c = s.complement(0.0, 10.0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.total_length(), 10.0);
+}
+
+TEST(IntervalSet, DeMorganComplementOfUnion) {
+  IntervalSet a, b;
+  a.add(1.0, 3.0);
+  b.add(2.0, 5.0);
+  const IntervalSet lhs = a.unite(b).complement(0.0, 10.0);
+  const IntervalSet rhs =
+      a.complement(0.0, 10.0).intersect(b.complement(0.0, 10.0));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(IntervalSet, ShrinkRight) {
+  IntervalSet s;
+  s.add(0.0, 10.0);
+  s.add(20.0, 21.0);
+  const IntervalSet shrunk = s.shrink_right(2.0);
+  ASSERT_EQ(shrunk.size(), 1u);  // [20,21) shorter than tau drops out
+  EXPECT_DOUBLE_EQ(shrunk.intervals()[0].end, 8.0);
+}
+
+TEST(IntervalSet, ShrinkRightZeroIsIdentity) {
+  IntervalSet s;
+  s.add(1.0, 2.0);
+  EXPECT_EQ(s.shrink_right(0.0), s);
+}
+
+TEST(IntervalSet, BoundaryPointsSorted) {
+  IntervalSet s;
+  s.add(5.0, 6.0);
+  s.add(1.0, 2.0);
+  const auto pts = s.boundary_points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0], 1.0);
+  EXPECT_DOUBLE_EQ(pts[3], 6.0);
+}
+
+TEST(IntervalSet, NextPointIn) {
+  IntervalSet s;
+  s.add(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.next_point_in(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.next_point_in(3.0), 3.0);
+  EXPECT_TRUE(std::isinf(s.next_point_in(4.0)));
+}
+
+}  // namespace
+}  // namespace tveg
