@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_expansion.dir/ablation_power_expansion.cpp.o"
+  "CMakeFiles/ablation_power_expansion.dir/ablation_power_expansion.cpp.o.d"
+  "ablation_power_expansion"
+  "ablation_power_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_quality.dir/approx_quality.cpp.o"
+  "CMakeFiles/approx_quality.dir/approx_quality.cpp.o.d"
+  "approx_quality"
+  "approx_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

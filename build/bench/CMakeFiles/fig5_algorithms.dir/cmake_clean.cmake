@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_algorithms.dir/fig5_algorithms.cpp.o"
+  "CMakeFiles/fig5_algorithms.dir/fig5_algorithms.cpp.o.d"
+  "fig5_algorithms"
+  "fig5_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

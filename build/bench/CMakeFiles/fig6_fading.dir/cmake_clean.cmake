@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fading.dir/fig6_fading.cpp.o"
+  "CMakeFiles/fig6_fading.dir/fig6_fading.cpp.o.d"
+  "fig6_fading"
+  "fig6_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_degree.dir/fig7_degree.cpp.o"
+  "CMakeFiles/fig7_degree.dir/fig7_degree.cpp.o.d"
+  "fig7_degree"
+  "fig7_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dts.dir/micro_dts.cpp.o"
+  "CMakeFiles/micro_dts.dir/micro_dts.cpp.o.d"
+  "micro_dts"
+  "micro_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

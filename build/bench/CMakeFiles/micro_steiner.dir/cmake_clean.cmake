@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_steiner.dir/micro_steiner.cpp.o"
+  "CMakeFiles/micro_steiner.dir/micro_steiner.cpp.o.d"
+  "micro_steiner"
+  "micro_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

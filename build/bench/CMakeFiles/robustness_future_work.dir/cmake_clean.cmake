@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_future_work.dir/robustness_future_work.cpp.o"
+  "CMakeFiles/robustness_future_work.dir/robustness_future_work.cpp.o.d"
+  "robustness_future_work"
+  "robustness_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_planning.dir/deadline_planning.cpp.o"
+  "CMakeFiles/deadline_planning.dir/deadline_planning.cpp.o.d"
+  "deadline_planning"
+  "deadline_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

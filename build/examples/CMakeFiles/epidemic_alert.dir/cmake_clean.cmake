@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_alert.dir/epidemic_alert.cpp.o"
+  "CMakeFiles/epidemic_alert.dir/epidemic_alert.cpp.o.d"
+  "epidemic_alert"
+  "epidemic_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

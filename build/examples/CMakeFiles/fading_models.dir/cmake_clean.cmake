@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fading_models.dir/fading_models.cpp.o"
+  "CMakeFiles/fading_models.dir/fading_models.cpp.o.d"
+  "fading_models"
+  "fading_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fading_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

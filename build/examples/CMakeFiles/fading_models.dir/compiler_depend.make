@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fading_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_duty_cycle.dir/sensor_duty_cycle.cpp.o"
+  "CMakeFiles/sensor_duty_cycle.dir/sensor_duty_cycle.cpp.o.d"
+  "sensor_duty_cycle"
+  "sensor_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/ed_function.cpp" "src/channel/CMakeFiles/tveg_channel.dir/ed_function.cpp.o" "gcc" "src/channel/CMakeFiles/tveg_channel.dir/ed_function.cpp.o.d"
+  "/root/repo/src/channel/profile.cpp" "src/channel/CMakeFiles/tveg_channel.dir/profile.cpp.o" "gcc" "src/channel/CMakeFiles/tveg_channel.dir/profile.cpp.o.d"
+  "/root/repo/src/channel/radio.cpp" "src/channel/CMakeFiles/tveg_channel.dir/radio.cpp.o" "gcc" "src/channel/CMakeFiles/tveg_channel.dir/radio.cpp.o.d"
+  "/root/repo/src/channel/special_functions.cpp" "src/channel/CMakeFiles/tveg_channel.dir/special_functions.cpp.o" "gcc" "src/channel/CMakeFiles/tveg_channel.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_channel.dir/ed_function.cpp.o"
+  "CMakeFiles/tveg_channel.dir/ed_function.cpp.o.d"
+  "CMakeFiles/tveg_channel.dir/profile.cpp.o"
+  "CMakeFiles/tveg_channel.dir/profile.cpp.o.d"
+  "CMakeFiles/tveg_channel.dir/radio.cpp.o"
+  "CMakeFiles/tveg_channel.dir/radio.cpp.o.d"
+  "CMakeFiles/tveg_channel.dir/special_functions.cpp.o"
+  "CMakeFiles/tveg_channel.dir/special_functions.cpp.o.d"
+  "libtveg_channel.a"
+  "libtveg_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtveg_channel.a"
+)

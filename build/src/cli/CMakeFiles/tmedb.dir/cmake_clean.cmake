@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmedb.dir/tmedb_main.cpp.o"
+  "CMakeFiles/tmedb.dir/tmedb_main.cpp.o.d"
+  "tmedb"
+  "tmedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/cli
+# Build directory: /root/repo/build/src/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate_info_run "/usr/bin/cmake" "-DTMEDB=/root/repo/build/src/cli/tmedb" "-DWORKDIR=/root/repo/build/src/cli" "-P" "/root/repo/src/cli/smoke_test.cmake")
+set_tests_properties(cli_generate_info_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;5;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_usage_on_bad_args "/root/repo/build/src/cli/tmedb" "frobnicate")
+set_tests_properties(cli_usage_on_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;10;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_stats_on_sample "/root/repo/build/src/cli/tmedb" "stats" "/root/repo/data/haggle_like_n20.trace")
+set_tests_properties(cli_stats_on_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;12;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_run_on_sample "/root/repo/build/src/cli/tmedb" "run" "/root/repo/data/waypoint_n12.trace" "--algorithm" "GREED" "--source" "0" "--deadline" "1500" "--trials" "50")
+set_tests_properties(cli_run_on_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;14;add_test;/root/repo/src/cli/CMakeLists.txt;0;")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aux_graph.cpp" "src/core/CMakeFiles/tveg_core.dir/aux_graph.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/aux_graph.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/tveg_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bip.cpp" "src/core/CMakeFiles/tveg_core.dir/bip.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/bip.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/tveg_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/eedcb.cpp" "src/core/CMakeFiles/tveg_core.dir/eedcb.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/eedcb.cpp.o.d"
+  "/root/repo/src/core/energy_allocation.cpp" "src/core/CMakeFiles/tveg_core.dir/energy_allocation.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/energy_allocation.cpp.o.d"
+  "/root/repo/src/core/fr.cpp" "src/core/CMakeFiles/tveg_core.dir/fr.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/fr.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/core/CMakeFiles/tveg_core.dir/interference.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/interference.cpp.o.d"
+  "/root/repo/src/core/prune.cpp" "src/core/CMakeFiles/tveg_core.dir/prune.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/prune.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/tveg_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/core/CMakeFiles/tveg_core.dir/schedule_io.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/tveg_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/core/tveg.cpp" "src/core/CMakeFiles/tveg_core.dir/tveg.cpp.o" "gcc" "src/core/CMakeFiles/tveg_core.dir/tveg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tveg_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tveg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tveg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/tveg_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

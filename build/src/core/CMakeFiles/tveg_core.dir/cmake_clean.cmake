@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_core.dir/aux_graph.cpp.o"
+  "CMakeFiles/tveg_core.dir/aux_graph.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/baselines.cpp.o"
+  "CMakeFiles/tveg_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/bip.cpp.o"
+  "CMakeFiles/tveg_core.dir/bip.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/brute_force.cpp.o"
+  "CMakeFiles/tveg_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/eedcb.cpp.o"
+  "CMakeFiles/tveg_core.dir/eedcb.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/energy_allocation.cpp.o"
+  "CMakeFiles/tveg_core.dir/energy_allocation.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/fr.cpp.o"
+  "CMakeFiles/tveg_core.dir/fr.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/interference.cpp.o"
+  "CMakeFiles/tveg_core.dir/interference.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/prune.cpp.o"
+  "CMakeFiles/tveg_core.dir/prune.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/schedule.cpp.o"
+  "CMakeFiles/tveg_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/schedule_io.cpp.o"
+  "CMakeFiles/tveg_core.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/tveg_core.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/tveg_core.dir/tveg.cpp.o"
+  "CMakeFiles/tveg_core.dir/tveg.cpp.o.d"
+  "libtveg_core.a"
+  "libtveg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

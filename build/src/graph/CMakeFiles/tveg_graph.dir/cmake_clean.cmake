@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_graph.dir/digraph.cpp.o"
+  "CMakeFiles/tveg_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/tveg_graph.dir/steiner.cpp.o"
+  "CMakeFiles/tveg_graph.dir/steiner.cpp.o.d"
+  "libtveg_graph.a"
+  "libtveg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/augmented_lagrangian.cpp" "src/nlp/CMakeFiles/tveg_nlp.dir/augmented_lagrangian.cpp.o" "gcc" "src/nlp/CMakeFiles/tveg_nlp.dir/augmented_lagrangian.cpp.o.d"
+  "/root/repo/src/nlp/coverage.cpp" "src/nlp/CMakeFiles/tveg_nlp.dir/coverage.cpp.o" "gcc" "src/nlp/CMakeFiles/tveg_nlp.dir/coverage.cpp.o.d"
+  "/root/repo/src/nlp/problem.cpp" "src/nlp/CMakeFiles/tveg_nlp.dir/problem.cpp.o" "gcc" "src/nlp/CMakeFiles/tveg_nlp.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tveg_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

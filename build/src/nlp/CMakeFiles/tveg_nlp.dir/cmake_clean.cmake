@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_nlp.dir/augmented_lagrangian.cpp.o"
+  "CMakeFiles/tveg_nlp.dir/augmented_lagrangian.cpp.o.d"
+  "CMakeFiles/tveg_nlp.dir/coverage.cpp.o"
+  "CMakeFiles/tveg_nlp.dir/coverage.cpp.o.d"
+  "CMakeFiles/tveg_nlp.dir/problem.cpp.o"
+  "CMakeFiles/tveg_nlp.dir/problem.cpp.o.d"
+  "libtveg_nlp.a"
+  "libtveg_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_online.dir/driver.cpp.o"
+  "CMakeFiles/tveg_online.dir/driver.cpp.o.d"
+  "libtveg_online.a"
+  "libtveg_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_sim.dir/experiment.cpp.o"
+  "CMakeFiles/tveg_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/tveg_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/tveg_sim.dir/monte_carlo.cpp.o.d"
+  "libtveg_sim.a"
+  "libtveg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_support.dir/rng.cpp.o"
+  "CMakeFiles/tveg_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tveg_support.dir/stats.cpp.o"
+  "CMakeFiles/tveg_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tveg_support.dir/table.cpp.o"
+  "CMakeFiles/tveg_support.dir/table.cpp.o.d"
+  "CMakeFiles/tveg_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/tveg_support.dir/thread_pool.cpp.o.d"
+  "libtveg_support.a"
+  "libtveg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

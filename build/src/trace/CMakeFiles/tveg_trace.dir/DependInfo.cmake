@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/contact_trace.cpp" "src/trace/CMakeFiles/tveg_trace.dir/contact_trace.cpp.o" "gcc" "src/trace/CMakeFiles/tveg_trace.dir/contact_trace.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/tveg_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/tveg_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/tveg_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/tveg_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/tveg_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/tveg_trace.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

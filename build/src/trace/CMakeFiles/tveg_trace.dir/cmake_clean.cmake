@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_trace.dir/contact_trace.cpp.o"
+  "CMakeFiles/tveg_trace.dir/contact_trace.cpp.o.d"
+  "CMakeFiles/tveg_trace.dir/generators.cpp.o"
+  "CMakeFiles/tveg_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/tveg_trace.dir/io.cpp.o"
+  "CMakeFiles/tveg_trace.dir/io.cpp.o.d"
+  "CMakeFiles/tveg_trace.dir/stats.cpp.o"
+  "CMakeFiles/tveg_trace.dir/stats.cpp.o.d"
+  "libtveg_trace.a"
+  "libtveg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tvg/dts.cpp" "src/tvg/CMakeFiles/tveg_tvg.dir/dts.cpp.o" "gcc" "src/tvg/CMakeFiles/tveg_tvg.dir/dts.cpp.o.d"
+  "/root/repo/src/tvg/interval_set.cpp" "src/tvg/CMakeFiles/tveg_tvg.dir/interval_set.cpp.o" "gcc" "src/tvg/CMakeFiles/tveg_tvg.dir/interval_set.cpp.o.d"
+  "/root/repo/src/tvg/journeys.cpp" "src/tvg/CMakeFiles/tveg_tvg.dir/journeys.cpp.o" "gcc" "src/tvg/CMakeFiles/tveg_tvg.dir/journeys.cpp.o.d"
+  "/root/repo/src/tvg/partition.cpp" "src/tvg/CMakeFiles/tveg_tvg.dir/partition.cpp.o" "gcc" "src/tvg/CMakeFiles/tveg_tvg.dir/partition.cpp.o.d"
+  "/root/repo/src/tvg/time_varying_graph.cpp" "src/tvg/CMakeFiles/tveg_tvg.dir/time_varying_graph.cpp.o" "gcc" "src/tvg/CMakeFiles/tveg_tvg.dir/time_varying_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tveg_tvg.dir/dts.cpp.o"
+  "CMakeFiles/tveg_tvg.dir/dts.cpp.o.d"
+  "CMakeFiles/tveg_tvg.dir/interval_set.cpp.o"
+  "CMakeFiles/tveg_tvg.dir/interval_set.cpp.o.d"
+  "CMakeFiles/tveg_tvg.dir/journeys.cpp.o"
+  "CMakeFiles/tveg_tvg.dir/journeys.cpp.o.d"
+  "CMakeFiles/tveg_tvg.dir/partition.cpp.o"
+  "CMakeFiles/tveg_tvg.dir/partition.cpp.o.d"
+  "CMakeFiles/tveg_tvg.dir/time_varying_graph.cpp.o"
+  "CMakeFiles/tveg_tvg.dir/time_varying_graph.cpp.o.d"
+  "libtveg_tvg.a"
+  "libtveg_tvg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tveg_tvg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

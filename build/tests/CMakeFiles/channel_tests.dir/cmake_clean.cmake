@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tests.dir/channel/ed_function_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/ed_function_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/profile_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/profile_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/radio_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/radio_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/special_functions_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/special_functions_test.cpp.o.d"
+  "channel_tests"
+  "channel_tests.pdb"
+  "channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

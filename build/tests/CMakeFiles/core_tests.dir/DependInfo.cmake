@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aux_graph_test.cpp" "tests/CMakeFiles/core_tests.dir/core/aux_graph_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/aux_graph_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/bip_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bip_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bip_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/channel_breakpoint_test.cpp" "tests/CMakeFiles/core_tests.dir/core/channel_breakpoint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/channel_breakpoint_test.cpp.o.d"
+  "/root/repo/tests/core/dcs_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dcs_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dcs_test.cpp.o.d"
+  "/root/repo/tests/core/dts_equivalence_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dts_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dts_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/eedcb_test.cpp" "tests/CMakeFiles/core_tests.dir/core/eedcb_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/eedcb_test.cpp.o.d"
+  "/root/repo/tests/core/energy_allocation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/energy_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/energy_allocation_test.cpp.o.d"
+  "/root/repo/tests/core/fr_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fr_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fr_test.cpp.o.d"
+  "/root/repo/tests/core/interference_test.cpp" "tests/CMakeFiles/core_tests.dir/core/interference_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/interference_test.cpp.o.d"
+  "/root/repo/tests/core/multicast_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cpp.o.d"
+  "/root/repo/tests/core/reduction_optimality_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reduction_optimality_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reduction_optimality_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/core_tests.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/setcover_reduction_test.cpp" "tests/CMakeFiles/core_tests.dir/core/setcover_reduction_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/setcover_reduction_test.cpp.o.d"
+  "/root/repo/tests/core/tradeoff_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tradeoff_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tradeoff_test.cpp.o.d"
+  "/root/repo/tests/core/tveg_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tveg_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tveg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tveg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/tveg_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tveg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tveg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tveg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/tveg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tveg_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

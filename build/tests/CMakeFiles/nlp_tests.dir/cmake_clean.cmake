@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_tests.dir/nlp/augmented_lagrangian_test.cpp.o"
+  "CMakeFiles/nlp_tests.dir/nlp/augmented_lagrangian_test.cpp.o.d"
+  "CMakeFiles/nlp_tests.dir/nlp/coverage_test.cpp.o"
+  "CMakeFiles/nlp_tests.dir/nlp/coverage_test.cpp.o.d"
+  "nlp_tests"
+  "nlp_tests.pdb"
+  "nlp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_tests.dir/online/online_test.cpp.o"
+  "CMakeFiles/online_tests.dir/online/online_test.cpp.o.d"
+  "online_tests"
+  "online_tests.pdb"
+  "online_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

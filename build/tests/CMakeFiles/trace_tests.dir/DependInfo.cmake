@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/contact_trace_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/contact_trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/contact_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/generators_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/generators_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/generators_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/stats_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/stats_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tveg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/tveg_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tveg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tveg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tveg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/tveg_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tveg_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvg/CMakeFiles/tveg_tvg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tveg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

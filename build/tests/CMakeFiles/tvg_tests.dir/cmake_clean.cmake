@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvg_tests.dir/tvg/dts_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/dts_test.cpp.o.d"
+  "CMakeFiles/tvg_tests.dir/tvg/interval_property_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/interval_property_test.cpp.o.d"
+  "CMakeFiles/tvg_tests.dir/tvg/interval_set_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/interval_set_test.cpp.o.d"
+  "CMakeFiles/tvg_tests.dir/tvg/journeys_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/journeys_test.cpp.o.d"
+  "CMakeFiles/tvg_tests.dir/tvg/partition_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/partition_test.cpp.o.d"
+  "CMakeFiles/tvg_tests.dir/tvg/time_varying_graph_test.cpp.o"
+  "CMakeFiles/tvg_tests.dir/tvg/time_varying_graph_test.cpp.o.d"
+  "tvg_tests"
+  "tvg_tests.pdb"
+  "tvg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
