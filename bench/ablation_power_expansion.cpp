@@ -16,7 +16,9 @@ using bench::paper_trace;
 using support::Table;
 
 int main() {
+  bench::Report report("ablation_power_expansion");
   const NodeId n = 20;
+  report.set_config("nodes", static_cast<double>(n));
   const auto trace = paper_trace(n, /*ramped=*/false);
   const auto radio = sim::paper_radio();
   const core::Tveg tveg(trace, radio,
@@ -48,9 +50,11 @@ int main() {
                    Table::fmt(without_cost.mean(), 2),
                    Table::fmt(overhead, 1)});
   }
-  emit("Ablation: auxiliary-graph power-level expansion (normalized energy)",
-       table);
+  report.emit(
+      "Ablation: auxiliary-graph power-level expansion (normalized energy)",
+      table);
   std::cout << "\nExpected: the per-edge (without) variant pays more; the "
                "expansion realizes Property 6.1's broadcast nature.\n";
+  report.write_json();
   return 0;
 }

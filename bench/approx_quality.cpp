@@ -30,6 +30,7 @@ channel::RadioParams unit_radio() {
 }  // namespace
 
 int main() {
+  bench::Report report("approx_quality");
   struct Solver {
     const char* name;
     std::function<core::Schedule(const core::TmedbInstance&,
@@ -110,12 +111,13 @@ int main() {
                    Table::fmt(ratios[s].quantile(0.9), 3),
                    Table::fmt(ratios[s].quantile(1.0), 3)});
   }
-  bench::emit("Empirical approximation ratios vs exact optimum "
+  report.emit("Empirical approximation ratios vs exact optimum "
               "(7-node random temporal graphs)",
               table);
   std::cout << "\nSolved " << instances
             << " feasible instances. Expected: EEDCB variants close to 1, "
                "level 2 <= level 1;\nGREED noticeably above; RAND worst. "
                "All far below the theoretical O(N^eps) envelope.\n";
+  report.write_json();
   return 0;
 }

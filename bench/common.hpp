@@ -3,10 +3,15 @@
 // as an aligned table followed by a CSV block.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/json.hpp"
 #include "sim/experiment.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -111,5 +116,64 @@ inline void emit(const std::string& title, const support::Table& table) {
   std::cout << "-- csv --\n";
   table.print_csv(std::cout);
 }
+
+/// Machine-readable bench report: records every emitted table plus freeform
+/// config, and writes `BENCH_<name>.json` (schema tveg-bench-1) with the
+/// obs metrics/phase snapshot attached. Construct one per bench binary,
+/// route tables through `emit`, call `write_json()` at the end — after the
+/// timed work, so snapshotting never perturbs the measurements.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// Records a bench parameter shown under "config".
+  void set_config(const std::string& key, const std::string& value) {
+    config_.set(key, obs::Json(value));
+  }
+  void set_config(const std::string& key, double value) {
+    config_.set(key, obs::Json(value));
+  }
+
+  /// Prints the table (text + CSV) and records it as a JSON series.
+  void emit(const std::string& title, const support::Table& table) {
+    bench::emit(title, table);
+    obs::Json series = obs::Json::object();
+    series.set("title", obs::Json(title));
+    obs::Json columns = obs::Json::array();
+    for (const auto& h : table.headers()) columns.push_back(obs::Json(h));
+    series.set("columns", std::move(columns));
+    obs::Json rows = obs::Json::array();
+    for (const auto& row : table.data()) {
+      obs::Json cells = obs::Json::array();
+      for (const auto& cell : row) cells.push_back(obs::Json(cell));
+      rows.push_back(std::move(cells));
+    }
+    series.set("rows", std::move(rows));
+    series_.push_back(std::move(series));
+  }
+
+  /// Writes BENCH_<name>.json in the working directory.
+  void write_json() const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", obs::Json("tveg-bench-1"));
+    doc.set("bench", obs::Json(name_));
+    doc.set("config", config_);
+    obs::Json series = obs::Json::array();
+    for (const auto& s : series_) series.push_back(s);
+    doc.set("series", std::move(series));
+    doc.set("obs", obs::snapshot());
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << doc.dump(2) << "\n";
+    if (!out) throw std::runtime_error("cannot write " + path);
+    std::cout << "\nreport written to " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  obs::Json config_ = obs::Json::object();
+  std::vector<obs::Json> series_;
+};
 
 }  // namespace tveg::bench

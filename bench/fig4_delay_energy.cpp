@@ -16,9 +16,13 @@ using bench::source_panel;
 using support::Table;
 
 int main() {
+  bench::Report report("fig4_delay_energy");
   const std::vector<NodeId> sizes{10, 15, 20};
   std::vector<Time> deadlines;
   for (Time t = 2000; t <= 6000; t += 500) deadlines.push_back(t);
+  report.set_config("sizes", "10,15,20");
+  report.set_config("deadline_from_s", 2000);
+  report.set_config("deadline_to_s", 6000);
 
   for (const auto [algo, title] :
        {std::pair{sim::Algorithm::kEedcb,
@@ -40,9 +44,10 @@ int main() {
       for (const auto& s : series) row.push_back(Table::fmt(s[j], 2));
       table.add_row(std::move(row));
     }
-    emit(title, table);
+    report.emit(title, table);
   }
   std::cout << "\nExpected shape: within each column energy falls as the "
                "deadline grows;\nwithin each row energy rises with N.\n";
+  report.write_json();
   return 0;
 }

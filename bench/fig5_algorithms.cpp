@@ -13,7 +13,9 @@ using bench::source_panel;
 using support::Table;
 
 int main() {
+  bench::Report report("fig5_algorithms");
   const NodeId n = 20;
+  report.set_config("nodes", static_cast<double>(n));
   const sim::Workbench bench(paper_trace(n, /*ramped=*/false),
                              sim::paper_radio());
   const auto sources = source_panel(n);
@@ -32,7 +34,7 @@ int main() {
       for (const auto& s : series) row.push_back(Table::fmt(s[j], 2));
       table.add_row(std::move(row));
     }
-    emit(title, table);
+    report.emit(title, table);
   };
 
   sweep_table("Fig. 5(a): static channel — normalized energy vs delay "
@@ -47,5 +49,6 @@ int main() {
               {"deadline_s", "FR-EEDCB", "FR-GREED", "FR-RAND"});
   std::cout << "\nExpected ordering per row: EEDCB < GREED < RAND and "
                "FR-EEDCB < FR-GREED < FR-RAND.\n";
+  report.write_json();
   return 0;
 }

@@ -16,8 +16,10 @@ using bench::source_panel;
 using support::Table;
 
 int main() {
+  bench::Report report("fig6_fading");
   const std::vector<NodeId> sizes{10, 15, 20, 25, 30};
   const Time deadline = 2000;
+  report.set_config("deadline_s", deadline);
 
   Table energy({"N", "EEDCB", "GREED", "RAND", "FR-EEDCB", "FR-GREED",
                 "FR-RAND"});
@@ -53,10 +55,12 @@ int main() {
     delivery.add_row(std::move(delivery_row));
   }
 
-  emit("Fig. 6(a): fading scenario — normalized energy vs N", energy);
-  emit("Fig. 6(b): fading scenario — packet delivery ratio vs N", delivery);
+  report.emit("Fig. 6(a): fading scenario — normalized energy vs N", energy);
+  report.emit("Fig. 6(b): fading scenario — packet delivery ratio vs N",
+              delivery);
   std::cout << "\nExpected: energy FR-RAND > FR-GREED > FR-EEDCB > RAND > "
                "GREED ~ EEDCB;\ndelivery FR-* near 1.0, static algorithms "
                "well below and falling with N.\n";
+  report.write_json();
   return 0;
 }

@@ -13,8 +13,11 @@ using bench::paper_trace;
 using support::Table;
 
 int main() {
+  bench::Report report("fig7_degree");
   const NodeId n = 20;
   const Time deadline = 2000;
+  report.set_config("nodes", static_cast<double>(n));
+  report.set_config("deadline_s", deadline);
   const auto trace = paper_trace(n, /*ramped=*/true);
 
   Table stat({"window_start_s", "avg_degree", "EEDCB", "GREED", "RAND"});
@@ -48,12 +51,13 @@ int main() {
                     Table::fmt(point(sim::Algorithm::kFrRand), 2)});
   }
 
-  emit("Fig. 7(a): static channel — energy and average degree over time",
-       stat);
-  emit("Fig. 7(b): Rayleigh fading — energy and average degree over time",
-       fading);
+  report.emit("Fig. 7(a): static channel — energy and average degree over time",
+              stat);
+  report.emit("Fig. 7(b): Rayleigh fading — energy and average degree over time",
+              fading);
   std::cout << "\nExpected: average degree climbs until ~8000 s then "
                "plateaus; energy of every method falls over the ramp and "
                "then flattens.\n";
+  report.write_json();
   return 0;
 }

@@ -11,7 +11,9 @@ using namespace tveg;
 using support::Table;
 
 int main() {
+  bench::Report report("online_vs_offline");
   const NodeId n = 20;
+  report.set_config("nodes", static_cast<double>(n));
   const auto trace = bench::paper_trace(n, /*ramped=*/false);
   const sim::Workbench bench(trace, sim::paper_radio());
   const auto sources = bench::source_panel(n);
@@ -63,11 +65,12 @@ int main() {
     table.add_row(std::move(row));
   }
 
-  bench::emit("Online policies vs offline oracles — normalized energy "
+  report.emit("Online policies vs offline oracles — normalized energy "
               "(static channel)",
               table);
   std::cout << "\nExpected: offline EEDCB cheapest (it sees the future); "
                "deadline-aware online\npolicies close much of the epidemic "
                "gap by waiting for multi-neighbor moments.\n";
+  report.write_json();
   return 0;
 }

@@ -13,8 +13,11 @@ using bench::paper_trace;
 using support::Table;
 
 int main() {
+  bench::Report report("robustness_future_work");
   const NodeId n = 20;
   const Time deadline = 4000;
+  report.set_config("nodes", static_cast<double>(n));
+  report.set_config("deadline_s", deadline);
   const sim::Workbench bench(paper_trace(n, /*ramped=*/false),
                              sim::paper_radio());
   const auto sources = bench::source_panel(n, 4);
@@ -44,9 +47,10 @@ int main() {
                      d_static.empty() ? "-" : Table::fmt(d_static.mean(), 4),
                      d_fr.empty() ? "-" : Table::fmt(d_fr.mean(), 4)});
     }
-    emit("Future work (a): delivery vs presence reliability "
-         "(non-deterministic TVG)",
-         table);
+    report.emit(
+        "Future work (a): delivery vs presence reliability "
+        "(non-deterministic TVG)",
+        table);
   }
 
   // Interference on/off.
@@ -74,12 +78,14 @@ int main() {
                      d_static.empty() ? "-" : Table::fmt(d_static.mean(), 4),
                      d_fr.empty() ? "-" : Table::fmt(d_fr.mean(), 4)});
     }
-    emit("Future work (b): delivery with transmission interference", table);
+    report.emit("Future work (b): delivery with transmission interference",
+                table);
   }
 
   std::cout << "\nExpected: FR-EEDCB degrades gracefully as edges become "
                "unreliable (its failure\nbudget absorbs some losses); "
                "interference costs both pipelines a few points\nwherever "
                "schedules use concurrent or same-instant transmissions.\n";
+  report.write_json();
   return 0;
 }

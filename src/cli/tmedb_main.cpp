@@ -7,13 +7,18 @@
 // `run` prints the schedule, its feasibility verdict, normalized energy and
 // (for fading evaluation) the Monte-Carlo delivery ratio.
 #include <cstring>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/schedule_io.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "support/table.hpp"
 #include "trace/generators.hpp"
@@ -24,27 +29,68 @@ namespace {
 
 using namespace tveg;
 
-/// Minimal --key value argument parser.
+/// Bad command line (unknown option, missing value, ...): print the message
+/// and the usage text, exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// --key value / --key=value argument parser. Each command declares which
+/// options it accepts and which of those are valueless boolean flags, so
+/// unknown options are rejected and flags never swallow the next token.
 class Args {
  public:
-  Args(int argc, char** argv) {
+  struct Spec {
+    std::set<std::string> valued;  ///< options taking a value
+    std::set<std::string> flags;   ///< valueless boolean options
+  };
+
+  Args(int argc, char** argv, const Spec& spec) {
     for (int i = 0; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--", 0) == 0 && i + 1 < argc) {
-        values_[a.substr(2)] = argv[++i];
-      } else {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) != 0 || a == "--") {
         positional_.push_back(a);
+        continue;
       }
+      std::string key = a.substr(2);
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        const std::string value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        if (spec.flags.count(key))
+          throw UsageError("option --" + key + " takes no value");
+        if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
+        values_[key] = value;
+        continue;
+      }
+      if (spec.flags.count(key)) {
+        values_[key] = "1";
+        continue;
+      }
+      if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
+      if (i + 1 >= argc) throw UsageError("option --" + key + " needs a value");
+      values_[key] = argv[++i];
     }
   }
 
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
   std::string get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
   double get_num(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      throw UsageError("option --" + key + " expects a number, got '" +
+                       it->second + "'");
+    }
   }
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -53,20 +99,66 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// Per-command option specs; commands absent here accept no options.
+const Args::Spec& spec_for(const std::string& cmd) {
+  static const std::map<std::string, Args::Spec> specs = {
+      {"generate",
+       {{"kind", "nodes", "horizon", "seed", "out", "ramp", "pair-probability",
+         "metrics-out"},
+        {"trace"}}},
+      {"info", {{}, {}}},
+      {"stats", {{}, {}}},
+      {"run",
+       {{"algorithm", "source", "deadline", "seed", "trials", "steiner",
+         "level", "save-schedule", "metrics-out"},
+        {"trace"}}},
+      {"sweep", {{"source", "from", "to", "step", "seed"}, {}}},
+      {"evaluate",
+       {{"source", "deadline", "trials", "seed", "reliability", "interference"},
+        {}}},
+  };
+  static const Args::Spec empty;
+  auto it = specs.find(cmd);
+  return it == specs.end() ? empty : it->second;
+}
+
+/// Seeds the pipeline phases so exported phase_totals carry the same keys
+/// for every algorithm, then turns tracing on.
+void enable_observability() {
+  obs::declare_phases({"dts_build", "aux_graph", "steiner", "prune",
+                       "nlp_allocation", "monte_carlo"});
+  obs::set_enabled(true);
+}
+
+/// Shared --metrics-out / --trace epilogue.
+void emit_observability(const Args& args) {
+  if (args.has("trace")) obs::trace_report(std::cerr);
+  const std::string path = args.get("metrics-out", "");
+  if (!path.empty()) {
+    obs::write_snapshot_file(path);
+    std::cout << "metrics written to: " << path << "\n";
+  }
+}
+
 int usage() {
   std::cerr <<
       "usage:\n"
       "  tmedb generate --kind haggle|waypoint|dutycycle|snapshots\n"
       "                 [--nodes N] [--horizon T] [--seed S] --out FILE\n"
+      "                 [--metrics-out FILE] [--trace]\n"
       "  tmedb info TRACE\n"
       "  tmedb stats TRACE\n"
       "  tmedb run TRACE [--algorithm EEDCB|GREED|RAND|FR-EEDCB|FR-GREED|FR-RAND]\n"
       "                  [--source ID] [--deadline T] [--seed S] [--trials K]\n"
       "                  [--steiner spt|greedy] [--level L]\n"
       "                  [--save-schedule FILE]\n"
+      "                  [--metrics-out FILE] [--trace]\n"
       "  tmedb sweep TRACE [--source ID] [--from T0] [--to T1] [--step DT]\n"
       "  tmedb evaluate TRACE SCHEDULE [--source ID] [--deadline T]\n"
-      "                  [--trials K] [--reliability Q] [--interference 1]\n";
+      "                  [--trials K] [--reliability Q] [--interference 1]\n"
+      "\n"
+      "--metrics-out writes an obs snapshot (JSON, or CSV when FILE ends in\n"
+      ".csv); --trace prints the phase tree to stderr.\n";
   return 2;
 }
 
@@ -74,6 +166,7 @@ int cmd_generate(const Args& args) {
   const std::string kind = args.get("kind", "haggle");
   const std::string out = args.get("out", "");
   if (out.empty()) return usage();
+  if (args.has("metrics-out") || args.has("trace")) enable_observability();
 
   trace::ContactTrace result = [&] {
     if (kind == "haggle") {
@@ -114,6 +207,7 @@ int cmd_generate(const Args& args) {
   trace::write_trace_file(out, result);
   std::cout << "wrote " << result.contact_count() << " contacts over "
             << result.node_count() << " nodes to " << out << "\n";
+  emit_observability(args);
   return 0;
 }
 
@@ -202,6 +296,7 @@ int cmd_run(const Args& args) {
   const Time deadline = args.get_num("deadline", 2000);
   const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
   const auto trials = static_cast<std::size_t>(args.get_num("trials", 2000));
+  if (args.has("metrics-out") || args.has("trace")) enable_observability();
 
   sim::Workbench::Options bench_options;
   const std::string steiner = args.get("steiner", "spt");
@@ -219,6 +314,14 @@ int cmd_run(const Args& args) {
             << "covered all nodes:  " << (outcome.covered_all ? "yes" : "no")
             << "\n"
             << "normalized energy:  " << outcome.normalized_energy << "\n";
+  if (outcome.stats.aux_vertices > 0) {
+    std::cout << "pipeline:           " << outcome.stats.dts_points
+              << " DTS points, " << outcome.stats.aux_vertices
+              << " aux vertices, " << outcome.stats.aux_arcs << " aux arcs\n"
+              << "phase times:        aux " << outcome.stats.aux_build_ms
+              << " ms, steiner " << outcome.stats.steiner_ms << " ms, prune "
+              << outcome.stats.prune_ms << " ms\n";
+  }
 
   const auto& instance = sim::fading_resistant(*algorithm)
                              ? bench.fading_instance(source, deadline)
@@ -238,6 +341,7 @@ int cmd_run(const Args& args) {
     core::write_schedule_file(save_path, outcome.schedule);
     std::cout << "schedule saved to:  " << save_path << "\n";
   }
+  emit_observability(args);
   return 0;
 }
 
@@ -283,16 +387,20 @@ int cmd_evaluate(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string cmd = argc >= 2 ? argv[1] : "";
   try {
-    const Args args(argc, argv);
+    const Args args(argc, argv, spec_for(cmd));
     if (args.positional().size() < 2) return usage();
-    const std::string cmd = args.positional()[1];
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return usage();
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

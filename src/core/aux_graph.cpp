@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -16,6 +18,7 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts)
 
 AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
                    Options options) {
+  obs::TraceSpan span("aux_graph");
   instance.validate();
   const Tveg& tveg = *instance.tveg;
   const Time tau = tveg.latency();
@@ -94,6 +97,17 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
       }
     }
   }
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& builds = registry.counter("tveg.aux.builds");
+  static obs::Counter& power_vertices =
+      registry.counter("tveg.aux.power_vertices");
+  static obs::Gauge& vertices = registry.gauge("tveg.aux.last_vertices");
+  static obs::Gauge& arcs = registry.gauge("tveg.aux.last_arcs");
+  builds.add(1);
+  power_vertices.add(power_info_.size());
+  vertices.set(static_cast<double>(vertex_count()));
+  arcs.set(static_cast<double>(arc_count()));
 }
 
 graph::VertexId AuxGraph::node_vertex(NodeId i, std::size_t l) const {

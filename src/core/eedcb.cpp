@@ -1,10 +1,24 @@
 #include "core/eedcb.hpp"
 
+#include <chrono>
+
 #include "core/prune.hpp"
 #include "graph/steiner.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace tveg::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 SchedulerResult run_eedcb(const TmedbInstance& instance,
                           const EedcbOptions& options) {
@@ -18,30 +32,42 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
                           const EedcbOptions& options) {
   instance.validate();
 
+  const auto aux_start = Clock::now();
   const AuxGraph aux(instance, dts, {.power_expansion = options.power_expansion});
 
   SchedulerResult result;
   result.stats.dts_points = dts.total_points();
   result.stats.aux_vertices = aux.vertex_count();
   result.stats.aux_arcs = aux.arc_count();
+  result.stats.aux_build_ms = ms_since(aux_start);
 
   graph::SteinerSolver solver(aux.digraph());
   graph::SteinerResult tree;
-  switch (options.method) {
-    case SteinerMethod::kRecursiveGreedy:
-      tree = solver.recursive_greedy(aux.source_vertex(), aux.terminals(),
-                                     options.steiner_level);
-      break;
-    case SteinerMethod::kShortestPath:
-      tree = solver.shortest_path_heuristic(aux.source_vertex(),
-                                            aux.terminals());
-      break;
+  {
+    obs::TraceSpan span("steiner");
+    const auto steiner_start = Clock::now();
+    switch (options.method) {
+      case SteinerMethod::kRecursiveGreedy:
+        tree = solver.recursive_greedy(aux.source_vertex(), aux.terminals(),
+                                       options.steiner_level);
+        break;
+      case SteinerMethod::kShortestPath:
+        tree = solver.shortest_path_heuristic(aux.source_vertex(),
+                                              aux.terminals());
+        break;
+    }
+    result.stats.steiner_ms = ms_since(steiner_start);
   }
+  result.stats.steiner_nodes_expanded = solver.last_query_stats().nodes_expanded;
+  result.stats.steiner_relaxations = solver.last_query_stats().relaxations;
 
   result.covered_all = tree.feasible;
   result.schedule = aux.extract_schedule(tree);
-  if (options.prune && result.covered_all)
+  if (options.prune && result.covered_all) {
+    const auto prune_start = Clock::now();
     result.schedule = prune_schedule(instance, result.schedule);
+    result.stats.prune_ms = ms_since(prune_start);
+  }
   return result;
 }
 

@@ -35,11 +35,18 @@ struct EedcbOptions {
   bool prune = true;
 };
 
-/// Size diagnostics of one scheduler run.
+/// Size and work diagnostics of one scheduler run. The *_ms phase timings
+/// are always collected (one clock read per phase); finer-grained tracing
+/// lives in obs::trace and is off unless obs::set_enabled(true).
 struct SchedulerStats {
   std::size_t dts_points = 0;
   std::size_t aux_vertices = 0;
   std::size_t aux_arcs = 0;
+  std::size_t steiner_nodes_expanded = 0;
+  std::size_t steiner_relaxations = 0;
+  double aux_build_ms = 0;
+  double steiner_ms = 0;
+  double prune_ms = 0;
 };
 
 /// Outcome of a scheduler: a schedule plus whether the construction could

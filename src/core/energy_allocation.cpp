@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "nlp/augmented_lagrangian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -12,11 +14,26 @@ namespace tveg::core {
 
 namespace {
 constexpr double kTimeTol = 1e-9;
+
+void flush_allocation_metrics(const AllocationOutcome& outcome) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& allocations =
+      registry.counter("tveg.nlp.allocations");
+  static obs::Counter& constraints = registry.counter("tveg.nlp.constraints");
+  static obs::Counter& passes = registry.counter("tveg.nlp.solver_passes");
+  static obs::Counter& infeasible = registry.counter("tveg.nlp.infeasible");
+  allocations.add(1);
+  constraints.add(outcome.constraint_count);
+  passes.add(outcome.solver_passes);
+  if (!outcome.feasible) infeasible.add(1);
 }
+
+}  // namespace
 
 AllocationOutcome allocate_energy(const TmedbInstance& instance,
                                   const Schedule& backbone,
                                   const AllocationOptions& options) {
+  obs::TraceSpan span("nlp_allocation");
   instance.validate();
   const Tveg& tveg = *instance.tveg;
   const Time tau = tveg.latency();
@@ -24,6 +41,12 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
   const auto& txs = backbone.transmissions();
 
   AllocationOutcome outcome;
+  // Flushes on every return path, including the early "broken backbone" exits.
+  struct FlushGuard {
+    const AllocationOutcome& outcome;
+    ~FlushGuard() { flush_allocation_metrics(outcome); }
+  } flush_guard{outcome};
+
   if (txs.empty()) {
     // Only a single-node broadcast can be feasible with no transmissions.
     outcome.feasible = tveg.node_count() == 1;

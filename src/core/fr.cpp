@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tveg::core {
 
 namespace {
@@ -13,9 +16,17 @@ void refine_backbone(const TmedbInstance& instance,
                      const AllocationOptions& allocation_options,
                      const FrOptions& fr_options, FrResult& result) {
   if (!result.allocation.feasible) return;
+  obs::TraceSpan span("fr_refine");
   Schedule backbone = result.backbone.schedule;
 
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& rounds_metric = registry.counter("tveg.fr.rounds");
+  static obs::Counter& removals_metric = registry.counter("tveg.fr.removals");
+  static obs::Counter& reallocs_metric =
+      registry.counter("tveg.fr.reallocations");
+
   for (std::size_t round = 0; round < fr_options.max_refine_rounds; ++round) {
+    rounds_metric.add(1);
     bool improved = false;
     // Candidates in descending allocated-cost order: expensive
     // transmissions are the likeliest wins.
@@ -34,11 +45,13 @@ void refine_backbone(const TmedbInstance& instance,
         if (m != k) candidate.add(txs[m]);
       const AllocationOutcome out =
           allocate_energy(instance, candidate, allocation_options);
+      reallocs_metric.add(1);
       if (out.feasible && out.schedule.total_cost() <
                               result.allocation.schedule.total_cost()) {
         backbone = candidate;
         result.allocation = out;
         improved = true;
+        removals_metric.add(1);
         break;  // re-rank against the new allocation
       }
     }
@@ -77,6 +90,10 @@ FrResult run_fr_eedcb(const TmedbInstance& instance,
       refine_backbone(instance, allocation_options, fr_options, result);
     return result;
   };
+
+  static obs::Counter& runs_metric =
+      obs::MetricsRegistry::global().counter("tveg.fr.runs");
+  runs_metric.add(1);
 
   FrResult best = attempt(eedcb_options.method);
   if (fr_options.multi_start) {

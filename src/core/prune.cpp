@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace tveg::core {
@@ -30,11 +32,38 @@ Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule) {
 
 Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
                         const PruneOptions& options) {
+  obs::TraceSpan span("prune");
   instance.validate();
-  if (!feasible(instance, schedule)) return schedule;
+
+  std::size_t checks = 0;
+  std::size_t removed = 0;
+  std::size_t reductions = 0;
+  std::size_t rounds = 0;
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs_metric = registry.counter("tveg.prune.runs");
+  static obs::Counter& rounds_metric = registry.counter("tveg.prune.rounds");
+  static obs::Counter& checks_metric =
+      registry.counter("tveg.prune.feasibility_checks");
+  static obs::Counter& removed_metric = registry.counter("tveg.prune.removed");
+  static obs::Counter& reductions_metric =
+      registry.counter("tveg.prune.level_reductions");
+  const auto flush = [&] {
+    runs_metric.add(1);
+    rounds_metric.add(rounds);
+    checks_metric.add(checks);
+    removed_metric.add(removed);
+    reductions_metric.add(reductions);
+  };
+
+  ++checks;
+  if (!feasible(instance, schedule)) {
+    flush();
+    return schedule;
+  }
   const Tveg& tveg = *instance.tveg;
 
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++rounds;
     bool changed = false;
 
     if (options.try_removal) {
@@ -48,8 +77,10 @@ Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
       std::vector<char> keep(txs.size(), 1);
       for (std::size_t k : order) {
         keep[k] = 0;
+        ++checks;
         if (feasible(instance, rebuild(txs, keep))) {
           changed = true;  // the transmission was redundant
+          ++removed;
         } else {
           keep[k] = 1;
         }
@@ -77,8 +108,10 @@ Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
           if (entry.cost >= costs[k]) break;
           const Cost saved = costs[k];
           costs[k] = entry.cost;
+          ++checks;
           if (feasible(instance, build())) {
             changed = true;
+            ++reductions;
             break;
           }
           costs[k] = saved;
@@ -89,6 +122,7 @@ Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
 
     if (!changed) break;
   }
+  flush();
   return schedule;
 }
 

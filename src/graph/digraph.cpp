@@ -58,12 +58,14 @@ ShortestPaths dijkstra(const Digraph& g, VertexId src) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > sp.dist[static_cast<std::size_t>(u)]) continue;
+    ++sp.settled;
     for (const Arc& a : g.out(u)) {
       const double nd = d + a.weight;
       if (nd < sp.dist[static_cast<std::size_t>(a.to)]) {
         sp.dist[static_cast<std::size_t>(a.to)] = nd;
         sp.parent[static_cast<std::size_t>(a.to)] = u;
         pq.emplace(nd, a.to);
+        ++sp.relaxations;
       }
     }
   }

@@ -47,6 +47,8 @@ class Digraph {
 struct ShortestPaths {
   std::vector<double> dist;       ///< +inf when unreachable
   std::vector<VertexId> parent;   ///< kNoVertex for source/unreachable
+  std::size_t settled = 0;        ///< queue pops that expanded a vertex
+  std::size_t relaxations = 0;    ///< successful distance improvements
 };
 
 /// Dijkstra from src (weights must be non-negative).

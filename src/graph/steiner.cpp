@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -82,15 +83,46 @@ SteinerResult finalize(const TreeBuilder& builder, VertexId root,
 SteinerSolver::SteinerSolver(const Digraph& g)
     : g_(g), reversed_(g.reversed()) {}
 
+/// Clears per-query stats on entry to a public solver method and flushes
+/// them into the registry when the query finishes.
+struct SteinerSolver::QueryScope {
+  explicit QueryScope(SteinerSolver& solver) : solver_(solver) {
+    solver_.stats_ = QueryStats{};
+  }
+  ~QueryScope() {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& queries = registry.counter("tveg.steiner.queries");
+    static obs::Counter& runs = registry.counter("tveg.steiner.dijkstra_runs");
+    static obs::Counter& expanded =
+        registry.counter("tveg.steiner.nodes_expanded");
+    static obs::Counter& relaxations =
+        registry.counter("tveg.steiner.relaxations");
+    queries.add(1);
+    runs.add(solver_.stats_.dijkstra_runs);
+    expanded.add(solver_.stats_.nodes_expanded);
+    relaxations.add(solver_.stats_.relaxations);
+  }
+  SteinerSolver& solver_;
+};
+
+void SteinerSolver::note_run(const ShortestPaths& sp) {
+  ++stats_.dijkstra_runs;
+  stats_.nodes_expanded += sp.settled;
+  stats_.relaxations += sp.relaxations;
+}
+
 const ShortestPaths& SteinerSolver::forward_from(VertexId v) {
   auto it = forward_cache_.find(v);
-  if (it == forward_cache_.end())
+  if (it == forward_cache_.end()) {
     it = forward_cache_.emplace(v, dijkstra(g_, v)).first;
+    note_run(it->second);
+  }
   return it->second;
 }
 
 SteinerResult SteinerSolver::shortest_path_heuristic(
     VertexId root, const std::vector<VertexId>& terminals) {
+  const QueryScope scope(*this);
   const ShortestPaths& sp = forward_from(root);
   TreeBuilder builder;
   for (VertexId t : terminals)
@@ -182,6 +214,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
 SteinerResult SteinerSolver::recursive_greedy(
     VertexId root, const std::vector<VertexId>& terminals, int level) {
   TVEG_REQUIRE(level >= 1, "recursion level must be >= 1");
+  const QueryScope scope(*this);
   level = std::min(level, 2);
 
   GreedyState state;
@@ -192,8 +225,11 @@ SteinerResult SteinerSolver::recursive_greedy(
 
   // dist(u → terminal) for every u, via Dijkstra on the reversed graph.
   dist_to_term_.assign(state.terminals.size(), {});
-  for (std::size_t k = 0; k < state.terminals.size(); ++k)
-    dist_to_term_[k] = dijkstra(reversed_, state.terminals[k]).dist;
+  for (std::size_t k = 0; k < state.terminals.size(); ++k) {
+    ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
+    note_run(sp);
+    dist_to_term_[k] = std::move(sp.dist);
+  }
 
   greedy_cover(state, root, level, state.terminals.size());
   dist_to_term_.clear();
@@ -203,6 +239,7 @@ SteinerResult SteinerSolver::recursive_greedy(
 
 SteinerResult SteinerSolver::exact_small(
     VertexId root, const std::vector<VertexId>& terminals) {
+  const QueryScope scope(*this);
   std::vector<VertexId> terms;
   std::unordered_set<VertexId> seen;
   for (VertexId t : terminals)
@@ -222,8 +259,10 @@ SteinerResult SteinerSolver::exact_small(
   // Full single-source trees from every vertex: distances for the DP plus
   // parents for arc reconstruction.
   std::vector<ShortestPaths> sp(n);
-  for (std::size_t v = 0; v < n; ++v)
+  for (std::size_t v = 0; v < n; ++v) {
     sp[v] = dijkstra(g_, static_cast<VertexId>(v));
+    note_run(sp[v]);
+  }
   auto dist = [&](std::size_t v, std::size_t u) { return sp[v].dist[u]; };
 
   const std::size_t full = (std::size_t{1} << k) - 1;

@@ -67,8 +67,24 @@ class SteinerSolver {
   bool validate(const SteinerResult& r, VertexId root,
                 const std::vector<VertexId>& terminals) const;
 
+  /// Work counters of the most recent solver query (cached Dijkstra trees
+  /// count no work twice). Also accumulated into the global metrics
+  /// registry under tveg.steiner.*.
+  struct QueryStats {
+    std::size_t dijkstra_runs = 0;
+    std::size_t nodes_expanded = 0;  ///< settled vertices across runs
+    std::size_t relaxations = 0;
+  };
+  const QueryStats& last_query_stats() const { return stats_; }
+
  private:
   const ShortestPaths& forward_from(VertexId v);
+  /// Accounts a freshly computed shortest-path tree to the current query.
+  void note_run(const ShortestPaths& sp);
+  /// Resets per-query stats; flushes them to the registry on destruction.
+  struct QueryScope;
+
+  QueryStats stats_;
 
   /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the
   /// terminal set of the current recursive_greedy query.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 
 namespace tveg::nlp {
@@ -118,6 +119,19 @@ NlpResult solve_augmented_lagrangian(const NlpProblem& problem,
   result.objective = problem.objective(result.w);
   result.max_violation = problem.max_violation(result.w);
   result.feasible = result.max_violation <= opt.feasibility_tolerance * 10;
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& solves = registry.counter("tveg.nlp.al.solves");
+  static obs::Counter& outer_total =
+      registry.counter("tveg.nlp.al.outer_iterations");
+  static obs::Counter& inner_total =
+      registry.counter("tveg.nlp.al.inner_iterations");
+  static obs::Histogram& violation =
+      registry.histogram("tveg.nlp.al.final_violation");
+  solves.add(1);
+  outer_total.add(result.outer_iterations);
+  inner_total.add(result.inner_iterations);
+  violation.observe(result.max_violation);
   return result;
 }
 

@@ -1,0 +1,207 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace tveg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_rss{false};
+
+constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+/// Resident set size in KiB, or -1 when unavailable.
+long long read_rss_kb() noexcept {
+#ifdef __linux__
+  static const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return -1;
+  long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  return got == 2 ? resident * page_kb : -1;
+#else
+  return -1;
+#endif
+}
+
+struct Node {
+  std::string name;
+  std::size_t parent = kNoNode;
+  std::vector<std::size_t> children;  // guarded by Tree::mutex
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<long long> rss_delta_kb{0};
+};
+
+struct Tree {
+  std::mutex mutex;
+  // deque: references stay valid as the tree grows.
+  std::deque<Node> nodes;
+
+  Tree() { root(); }
+
+  std::size_t root() {
+    if (nodes.empty()) {
+      nodes.emplace_back();
+      nodes[0].name = "root";
+    }
+    return 0;
+  }
+
+  /// Finds or creates the child of `parent` named `name`. Returns the index
+  /// (for the thread's current-phase cursor) and a stable pointer (deque
+  /// references survive growth, so accumulation needs no lock).
+  std::pair<std::size_t, Node*> child(std::size_t parent, const char* name) {
+    std::lock_guard lock(mutex);
+    for (std::size_t c : nodes[parent].children)
+      if (nodes[c].name == name) return {c, &nodes[c]};
+    const std::size_t id = nodes.size();
+    nodes.emplace_back();
+    nodes[id].name = name;
+    nodes[id].parent = parent;
+    nodes[parent].children.push_back(id);
+    return {id, &nodes[id]};
+  }
+};
+
+Tree& tree() {
+  static Tree* t = new Tree();  // never destroyed: spans may outlive main
+  return *t;
+}
+
+thread_local std::size_t t_current = 0;
+
+TraceNodeSnapshot snapshot_node(const Tree& t, std::size_t id) {
+  const Node& n = t.nodes[id];
+  TraceNodeSnapshot s;
+  s.name = n.name;
+  s.count = n.count.load(std::memory_order_relaxed);
+  s.wall_ms =
+      static_cast<double>(n.total_ns.load(std::memory_order_relaxed)) / 1e6;
+  s.rss_delta_kb = n.rss_delta_kb.load(std::memory_order_relaxed);
+  for (std::size_t c : n.children) s.children.push_back(snapshot_node(t, c));
+  return s;
+}
+
+void report_node(std::ostream& os, const TraceNodeSnapshot& n, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.3f ms", n.wall_ms);
+  os << n.name << "  x" << n.count << "  " << buf;
+  if (n.rss_delta_kb != 0) os << "  rss" << std::showpos << n.rss_delta_kb
+                              << std::noshowpos << "kB";
+  os << "\n";
+  for (const auto& c : n.children) report_node(os, c, depth + 1);
+}
+
+void accumulate_totals(const TraceNodeSnapshot& n,
+                       std::map<std::string, TraceNodeSnapshot>& totals) {
+  auto& slot = totals[n.name];
+  slot.name = n.name;
+  slot.count += n.count;
+  slot.wall_ms += n.wall_ms;
+  slot.rss_delta_kb += n.rss_delta_kb;
+  for (const auto& c : n.children) accumulate_totals(c, totals);
+}
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_rss_tracking(bool on) noexcept {
+  g_rss.store(on, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept {
+  if (!enabled()) return;
+  const auto [id, ptr] = tree().child(t_current, name);
+  node_ = id;
+  node_ptr_ = ptr;
+  prev_ = t_current;
+  t_current = node_;
+  if (g_rss.load(std::memory_order_relaxed)) rss_before_kb_ = read_rss_kb();
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == kNone) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  Node& n = *static_cast<Node*>(node_ptr_);
+  n.total_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
+  n.count.fetch_add(1, std::memory_order_relaxed);
+  if (rss_before_kb_ >= 0) {
+    const long long after = read_rss_kb();
+    if (after >= 0)
+      n.rss_delta_kb.fetch_add(after - rss_before_kb_,
+                               std::memory_order_relaxed);
+  }
+  t_current = prev_;
+}
+
+double TraceSpan::elapsed_ms() const noexcept {
+  if (node_ == kNone) return 0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+void declare_phases(std::initializer_list<const char*> names) {
+  Tree& t = tree();
+  for (const char* name : names) t.child(0, name);
+}
+
+std::vector<TraceNodeSnapshot> trace_snapshot() {
+  Tree& t = tree();
+  std::lock_guard lock(t.mutex);
+  std::vector<TraceNodeSnapshot> out;
+  for (std::size_t c : t.nodes[0].children)
+    out.push_back(snapshot_node(t, c));
+  return out;
+}
+
+std::vector<std::pair<std::string, TraceNodeSnapshot>> phase_totals() {
+  std::map<std::string, TraceNodeSnapshot> totals;
+  for (const TraceNodeSnapshot& n : trace_snapshot())
+    accumulate_totals(n, totals);
+  std::vector<std::pair<std::string, TraceNodeSnapshot>> out;
+  for (auto& [name, node] : totals) {
+    node.children.clear();
+    out.emplace_back(name, std::move(node));
+  }
+  return out;
+}
+
+void trace_reset() {
+  Tree& t = tree();
+  std::lock_guard lock(t.mutex);
+  t.nodes.clear();
+  t.nodes.emplace_back();
+  t.nodes[0].name = "root";
+  t_current = 0;  // resets the calling thread; others must have no open spans
+}
+
+void trace_report(std::ostream& os) {
+  os << "phase tree (wall time, entries):\n";
+  for (const TraceNodeSnapshot& n : trace_snapshot()) report_node(os, n, 1);
+}
+
+}  // namespace tveg::obs

@@ -80,6 +80,7 @@ Workbench::RunOutcome Workbench::run(Algorithm algorithm, NodeId source,
       const auto r = run_eedcb(step_instance(source, deadline), dts_, eedcb);
       outcome.schedule = r.schedule;
       outcome.covered_all = r.covered_all;
+      outcome.stats = r.stats;
       break;
     }
     case Algorithm::kGreed:
@@ -99,6 +100,7 @@ Workbench::RunOutcome Workbench::run(Algorithm algorithm, NodeId source,
       outcome.schedule = r.schedule();
       outcome.covered_all = r.backbone.covered_all;
       outcome.allocation_feasible = r.allocation.feasible;
+      outcome.stats = r.backbone.stats;
       break;
     }
     case Algorithm::kFrGreed:

@@ -74,6 +74,9 @@ class Workbench {
     bool covered_all = false;        ///< backbone reached every node
     bool allocation_feasible = true; ///< NLP solved (FR-* only)
     double normalized_energy = 0;    ///< Σw / (N0·γ_th)
+    /// Backbone scheduler diagnostics (sizes + phase timings); zero for the
+    /// baseline rules, which bypass the EEDCB pipeline.
+    core::SchedulerStats stats;
   };
 
   /// Runs `algorithm` from `source` under `deadline`; `seed` drives RAND.

@@ -1,10 +1,13 @@
 #include "sim/monte_carlo.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
@@ -23,6 +26,8 @@ struct TrialState {
   support::Rng& rng;
   /// edge_up[e]: the edge exists this trial (presence_reliability draw).
   std::vector<char> edge_up;
+  /// Bernoulli draws this trial (presence + channel); flushed per run.
+  std::size_t draws = 0;
 
   TrialState(const core::Tveg& t, const McOptions& o, support::Rng& r)
       : tveg(t), options(o), rng(r) {
@@ -30,6 +35,7 @@ struct TrialState {
       edge_up.resize(tveg.graph().edge_count());
       for (auto& up : edge_up)
         up = rng.bernoulli(options.presence_reliability) ? 1 : 0;
+      draws += edge_up.size();
     }
   }
 
@@ -76,6 +82,7 @@ std::size_t run_trial_plain(const std::vector<core::Transmission>& txs,
             continue;
           const double phi =
               tveg.failure_probability(tx.relay, j, tx.time, tx.cost);
+          ++state.draws;
           if (!state.rng.bernoulli(phi))
             informed_at[static_cast<std::size_t>(j)] = tx.time + tau;
         }
@@ -136,6 +143,7 @@ std::size_t run_trial_interference(const std::vector<core::Transmission>& txs,
         if (heard[ji] >= 2) continue;  // collision
         if (informed_at[ji] <= t + tau) continue;
         const double phi = tveg.failure_probability(tx.relay, j, t, tx.cost);
+        ++state.draws;
         if (!state.rng.bernoulli(phi)) informed_at[ji] = t + tau;
       }
     }
@@ -162,8 +170,10 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
   const auto& txs = schedule.transmissions();
   const auto n = static_cast<double>(tveg.node_count());
 
+  obs::TraceSpan span("monte_carlo");
   std::vector<double> ratios(options.trials);
   std::atomic<std::size_t> full_count{0};
+  std::atomic<std::size_t> total_draws{0};
 
   auto trial = [&](std::size_t i) {
     support::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
@@ -176,13 +186,32 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
     ratios[i] = static_cast<double>(informed) / n;
     if (informed == static_cast<std::size_t>(tveg.node_count()))
       full_count.fetch_add(1, std::memory_order_relaxed);
+    total_draws.fetch_add(state.draws, std::memory_order_relaxed);
   };
 
+  const auto sim_start = std::chrono::steady_clock::now();
   if (options.parallel) {
     support::parallel_for(0, options.trials, trial);
   } else {
     for (std::size_t i = 0; i < options.trials; ++i) trial(i);
   }
+  const double sim_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sim_start)
+          .count();
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs_metric = registry.counter("tveg.mc.runs");
+  static obs::Counter& trials_metric = registry.counter("tveg.mc.trials");
+  static obs::Counter& draws_metric =
+      registry.counter("tveg.mc.channel_draws");
+  static obs::Gauge& rate_metric =
+      registry.gauge("tveg.mc.last_draws_per_sec");
+  runs_metric.add(1);
+  trials_metric.add(options.trials);
+  draws_metric.add(total_draws.load());
+  if (sim_seconds > 0)
+    rate_metric.set(static_cast<double>(total_draws.load()) / sim_seconds);
 
   support::RunningStat stat;
   for (double r : ratios) stat.add(r);

@@ -21,6 +21,8 @@ class Table {
   static std::string fmt(double v, int precision = 4);
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
 
   /// Writes an aligned, boxed text rendering.
   void print(std::ostream& os) const;

@@ -2,8 +2,22 @@
 
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tveg::support {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -12,7 +26,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  obs::MetricsRegistry::global()
+      .gauge("tveg.pool.workers")
+      .set(static_cast<double>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,9 +41,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& tasks_metric = registry.counter("tveg.pool.tasks");
+  static obs::Histogram& wait_metric =
+      registry.histogram("tveg.pool.queue_wait_us");
+  obs::Counter& busy_metric = registry.counter(
+      "tveg.pool.worker" + std::to_string(worker_index) + ".busy_us");
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -34,7 +57,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    tasks_metric.add(1);
+    if (task.timed) {
+      const auto start = Clock::now();
+      wait_metric.observe(us_between(task.enqueued, start));
+      task.fn();
+      busy_metric.add(
+          static_cast<std::uint64_t>(us_between(start, Clock::now())));
+    } else {
+      task.fn();
+    }
   }
 }
 
@@ -71,8 +103,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   {
     std::lock_guard lock(mutex_);
+    const bool timed = obs::enabled();
+    const auto now = timed ? Clock::now() : Clock::time_point{};
     for (std::size_t chunk = 1; chunk < chunks; ++chunk)
-      tasks_.push([run_chunk, chunk] { run_chunk(chunk); });
+      tasks_.push({[run_chunk, chunk] { run_chunk(chunk); }, now, timed});
   }
   cv_.notify_all();
   run_chunk(0);  // calling thread takes the first chunk

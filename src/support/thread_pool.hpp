@@ -6,6 +6,7 @@
 // CPU-bound and uniform enough that dynamic scheduling buys nothing.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -39,10 +40,18 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  /// Queued task; `enqueued` is only meaningful when `timed` (obs enabled at
+  /// enqueue time) so the disabled path never reads the clock.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

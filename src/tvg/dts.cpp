@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace tveg {
@@ -22,6 +24,7 @@ bool insert_point(std::vector<Time>& pts, Time t, double tol) {
 
 DiscreteTimeSet DiscreteTimeSet::build(const TimeVaryingGraph& g,
                                        const DtsOptions& options) {
+  obs::TraceSpan span("dts_build");
   const auto n = static_cast<std::size_t>(g.node_count());
   TVEG_REQUIRE(options.extra_points.empty() || options.extra_points.size() == n,
                "extra_points must be empty or have one entry per node");
@@ -57,13 +60,24 @@ DiscreteTimeSet DiscreteTimeSet::build(const TimeVaryingGraph& g,
   // Fixpoint closure under +τ propagation: if v may transmit at t and u is
   // adjacent, u's status may change at t + τ and u may transmit then.
   const Time tau = g.latency();
+  std::size_t propagations = 0;
   while (!worklist.empty()) {
     const auto [v, t] = worklist.front();
     worklist.pop_front();
+    ++propagations;
     if (t + tau > g.horizon()) continue;
     for (NodeId u : g.neighbors_at(v, t)) add(u, t + tau);
   }
 
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& builds = registry.counter("tveg.dts.builds");
+  static obs::Counter& points = registry.counter("tveg.dts.points");
+  static obs::Counter& closure = registry.counter("tveg.dts.closure_steps");
+  static obs::Counter& truncations = registry.counter("tveg.dts.truncations");
+  builds.add(1);
+  points.add(dts.total_points());
+  closure.add(propagations);
+  if (dts.truncated_) truncations.add(1);
   return dts;
 }
 
