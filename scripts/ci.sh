@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI driver: plain build + full test suite, then the same suite under
+# AddressSanitizer and UndefinedBehaviorSanitizer (TVEG_SANITIZE hooks in
+# the root CMakeLists). The ASan pass also drives the malformed-input trace
+# corpus through the CLI parser, so every rejection path runs under ASan
+# with real file I/O, not just through the gtest harness.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast   skip the sanitizer builds (plain build + ctest only)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+run_suite() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "==== [${name}] configure ===="
+  cmake -B "${build_dir}" -S "${REPO_ROOT}" "${GENERATOR[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==== [${name}] ctest ===="
+  ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
+}
+
+drive_corpus() {
+  # Feed every malformed trace in the corpus to the real CLI under the
+  # sanitized binary; each must be rejected with a clean exit code 2 (a
+  # crash or sanitizer report fails the pipeline via the exit-code check).
+  local build_dir="$1"
+  local tmedb="${build_dir}/src/cli/tmedb"
+  local corpus="${REPO_ROOT}/tests/trace/corpus"
+  echo "==== [asan] malformed-input corpus through the CLI ===="
+  local n=0
+  for f in "${corpus}"/*.trace; do
+    local rc=0
+    "${tmedb}" stats "$f" >/dev/null 2>&1 || rc=$?
+    if [[ "${rc}" -ne 2 ]]; then
+      echo "corpus file ${f} exited with ${rc}, expected clean rejection (2)"
+      exit 1
+    fi
+    n=$((n + 1))
+  done
+  echo "corpus: ${n} malformed traces cleanly rejected under ASan"
+}
+
+run_suite "plain" "${REPO_ROOT}/build-ci"
+
+if [[ "${FAST}" -eq 0 ]]; then
+  run_suite "asan" "${REPO_ROOT}/build-asan" -DTVEG_SANITIZE=address
+  drive_corpus "${REPO_ROOT}/build-asan"
+  run_suite "ubsan" "${REPO_ROOT}/build-ubsan" -DTVEG_SANITIZE=undefined
+fi
+
+echo "==== CI green ===="

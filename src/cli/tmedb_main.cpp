@@ -7,6 +7,7 @@
 // `run` prints the schedule, its feasibility verdict, normalized energy and
 // (for fading evaluation) the Monte-Carlo delivery ratio.
 #include <cstring>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <map>
@@ -17,6 +18,9 @@
 #include <vector>
 
 #include "core/schedule_io.hpp"
+#include "fault/degrade.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/repair.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "sim/experiment.hpp"
@@ -110,7 +114,8 @@ const Args::Spec& spec_for(const std::string& cmd) {
       {"stats", {{}, {}}},
       {"run",
        {{"algorithm", "source", "deadline", "seed", "trials", "steiner",
-         "level", "save-schedule", "metrics-out"},
+         "level", "save-schedule", "metrics-out", "faults",
+         "solver-budget-ms", "fault-log"},
         {"trace"}}},
       {"sweep", {{"source", "from", "to", "step", "seed"}, {}}},
       {"evaluate",
@@ -152,13 +157,22 @@ int usage() {
       "                  [--source ID] [--deadline T] [--seed S] [--trials K]\n"
       "                  [--steiner spt|greedy] [--level L]\n"
       "                  [--save-schedule FILE]\n"
+      "                  [--faults PLAN] [--solver-budget-ms N]\n"
+      "                  [--fault-log FILE]\n"
       "                  [--metrics-out FILE] [--trace]\n"
       "  tmedb sweep TRACE [--source ID] [--from T0] [--to T1] [--step DT]\n"
       "  tmedb evaluate TRACE SCHEDULE [--source ID] [--deadline T]\n"
       "                  [--trials K] [--reliability Q] [--interference 1]\n"
       "\n"
       "--metrics-out writes an obs snapshot (JSON, or CSV when FILE ends in\n"
-      ".csv); --trace prints the phase tree to stderr.\n";
+      ".csv); --trace prints the phase tree to stderr.\n"
+      "--faults injects a deterministic fault plan (key=value,... — keys:\n"
+      "seed, edge_dropout, node_churn, churn_span, truncation,\n"
+      "truncation_keep, jitter, cost_inflation, inflation_factor,\n"
+      "tx_failure); the schedule is repaired against the faulted reality\n"
+      "and delivery is measured there. --solver-budget-ms bounds the solve\n"
+      "wall-clock (EEDCB degrades to BIP, then GREED). --fault-log dumps\n"
+      "the injected events for audit/replay.\n";
   return 2;
 }
 
@@ -211,9 +225,22 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+/// Load a trace through the structured parser, or exit 2 (bad input, like a
+/// usage error — distinct from internal failures, which exit 1) with the
+/// parse error and its input line on stderr.
+trace::ContactTrace load_trace(const std::string& path) {
+  auto parsed = trace::parse_trace_file(path);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << path << ": " << parsed.error().to_string()
+              << "\n";
+    std::exit(2);
+  }
+  return std::move(parsed).value();
+}
+
 int cmd_info(const Args& args) {
   if (args.positional().size() < 3) return usage();
-  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto trace = load_trace(args.positional()[2]);
   std::cout << "nodes:    " << trace.node_count() << "\n"
             << "horizon:  " << trace.horizon() << " s\n"
             << "contacts: " << trace.contact_count() << "\n"
@@ -230,7 +257,7 @@ int cmd_info(const Args& args) {
 
 int cmd_stats(const Args& args) {
   if (args.positional().size() < 3) return usage();
-  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto trace = load_trace(args.positional()[2]);
   const trace::TraceSummary s = trace::summarize(trace);
   std::cout << "nodes:                    " << trace.node_count() << "\n"
             << "horizon:                  " << trace.horizon() << " s\n"
@@ -251,7 +278,7 @@ int cmd_stats(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   if (args.positional().size() < 3) return usage();
-  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto trace = load_trace(args.positional()[2]);
   const auto source = static_cast<NodeId>(args.get_num("source", 0));
   const Time from = args.get_num("from", 2000);
   const Time to = args.get_num("to", 6000);
@@ -283,7 +310,7 @@ std::optional<sim::Algorithm> parse_algorithm(const std::string& name) {
 
 int cmd_run(const Args& args) {
   if (args.positional().size() < 3) return usage();
-  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto trace = load_trace(args.positional()[2]);
 
   const std::string algo_name = args.get("algorithm", "EEDCB");
   const auto algorithm = parse_algorithm(algo_name);
@@ -296,6 +323,18 @@ int cmd_run(const Args& args) {
   const Time deadline = args.get_num("deadline", 2000);
   const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
   const auto trials = static_cast<std::size_t>(args.get_num("trials", 2000));
+
+  std::optional<fault::FaultPlan> plan;
+  if (args.has("faults")) {
+    auto parsed = fault::FaultPlan::parse(args.get("faults", ""));
+    if (!parsed.ok()) {
+      std::cerr << "bad --faults plan: " << parsed.error().to_string() << "\n";
+      return 2;
+    }
+    plan = parsed.value();
+  }
+  const double budget_ms = args.get_num("solver-budget-ms", -1);
+
   if (args.has("metrics-out") || args.has("trace")) enable_observability();
 
   sim::Workbench::Options bench_options;
@@ -306,7 +345,50 @@ int cmd_run(const Args& args) {
         static_cast<int>(args.get_num("level", 2));
   }
   const sim::Workbench bench(trace, sim::paper_radio(), bench_options);
-  const auto outcome = bench.run(*algorithm, source, deadline, seed);
+
+  // Solve — under the fallback ladder when a budget was given for an
+  // EEDCB-pipeline algorithm (the other algorithms already are the lower
+  // rungs), plainly otherwise.
+  sim::Workbench::RunOutcome outcome;
+  std::string rung_note;
+  std::vector<support::Error> descents;
+  const bool laddered = budget_ms >= 0 &&
+                        (*algorithm == sim::Algorithm::kEedcb ||
+                         *algorithm == sim::Algorithm::kFrEedcb);
+  if (laddered) {
+    fault::RobustSolveOptions robust;
+    robust.budget_ms = budget_ms;
+    robust.eedcb.method = bench_options.steiner_method;
+    robust.eedcb.steiner_level = bench_options.steiner_level;
+    if (*algorithm == sim::Algorithm::kFrEedcb) {
+      const auto instance = bench.fading_instance(source, deadline);
+      core::AllocationOptions alloc;
+      alloc.max_retries = 2;
+      alloc.retry_seed = seed;
+      const auto fr =
+          fault::robust_solve_fr(instance, bench.dts(), robust, alloc);
+      outcome.schedule = fr.schedule();
+      outcome.covered_all = fr.backbone.result.covered_all;
+      outcome.allocation_feasible = fr.allocation.feasible;
+      outcome.stats = fr.backbone.result.stats;
+      outcome.normalized_energy =
+          core::normalized_energy(instance, outcome.schedule);
+      rung_note = fault::rung_name(fr.backbone.rung);
+      descents = fr.backbone.descents;
+    } else {
+      const auto instance = bench.step_instance(source, deadline);
+      const auto rs = fault::robust_solve(instance, bench.dts(), robust);
+      outcome.schedule = rs.result.schedule;
+      outcome.covered_all = rs.result.covered_all;
+      outcome.stats = rs.result.stats;
+      outcome.normalized_energy =
+          core::normalized_energy(instance, outcome.schedule);
+      rung_note = fault::rung_name(rs.rung);
+      descents = rs.descents;
+    }
+  } else {
+    outcome = bench.run(*algorithm, source, deadline, seed);
+  }
 
   std::cout << algo_name << " from node " << source << ", T=" << deadline
             << " s\n"
@@ -314,6 +396,11 @@ int cmd_run(const Args& args) {
             << "covered all nodes:  " << (outcome.covered_all ? "yes" : "no")
             << "\n"
             << "normalized energy:  " << outcome.normalized_energy << "\n";
+  if (!rung_note.empty()) {
+    std::cout << "solver rung:        " << rung_note << "\n";
+    for (const auto& d : descents)
+      std::cout << "  degraded:         " << d.to_string() << "\n";
+  }
   if (outcome.stats.aux_vertices > 0) {
     std::cout << "pipeline:           " << outcome.stats.dts_points
               << " DTS points, " << outcome.stats.aux_vertices
@@ -331,10 +418,57 @@ int cmd_run(const Args& args) {
   if (!report.feasible) std::cout << " (" << report.reason << ")";
   std::cout << "\n";
 
-  const auto delivery = bench.delivery_under_fading(
-      source, outcome.schedule, {.trials = trials, .seed = seed});
-  std::cout << "fading delivery:    " << delivery.mean_delivery_ratio * 100
-            << "% (over " << delivery.trials << " trials)\n";
+  if (plan && plan->any()) {
+    // Inject the plan, repair the schedule against the faulted reality, and
+    // measure delivery there (with forced tx failures when configured).
+    const fault::FaultedTrace faulted = fault::apply_plan(trace, *plan);
+    std::cout << "faults injected:    " << faulted.log.events.size()
+              << " event(s)\n";
+    const std::string log_path = args.get("fault-log", "");
+    if (!log_path.empty()) {
+      std::ofstream log_out(log_path);
+      log_out << faulted.log.serialize();
+      if (!log_out) {
+        std::cerr << "error: cannot write fault log to " << log_path << "\n";
+        return 1;
+      }
+      std::cout << "fault log saved to: " << log_path << "\n";
+    }
+
+    const sim::Workbench faulted_bench(faulted.trace, sim::paper_radio(),
+                                       bench_options);
+    const bool fading = sim::fading_resistant(*algorithm);
+    const auto real_instance =
+        fading ? faulted_bench.fading_instance(source, deadline)
+               : faulted_bench.step_instance(source, deadline);
+    const auto repair =
+        fault::repair_schedule(instance, real_instance, faulted_bench.dts(),
+                               outcome.schedule, {.seed = seed});
+    std::cout << "fault impact:       " << repair.uncovered_before
+              << " node(s) uncovered without repair\n";
+    if (repair.diverged()) {
+      std::cout << "repair:             detected at t=" << repair.detect_time
+                << " s, patched " << repair.patch.size()
+                << " transmission(s), " << repair.uncovered_after
+                << " node(s) still uncovered\n";
+    }
+
+    sim::McOptions mc;
+    mc.trials = trials;
+    mc.seed = seed;
+    if (plan->tx_failure > 0)
+      mc.tx_faults = fault::TxFaultModel(plan->seed, plan->tx_failure);
+    const auto delivery =
+        faulted_bench.delivery_under_fading(source, repair.repaired, mc);
+    std::cout << "faulted delivery:   " << delivery.mean_delivery_ratio * 100
+              << "% (over " << delivery.trials
+              << " trials, repaired schedule)\n";
+  } else {
+    const auto delivery = bench.delivery_under_fading(
+        source, outcome.schedule, {.trials = trials, .seed = seed});
+    std::cout << "fading delivery:    " << delivery.mean_delivery_ratio * 100
+              << "% (over " << delivery.trials << " trials)\n";
+  }
 
   const std::string save_path = args.get("save-schedule", "");
   if (!save_path.empty()) {
@@ -347,7 +481,7 @@ int cmd_run(const Args& args) {
 
 int cmd_evaluate(const Args& args) {
   if (args.positional().size() < 4) return usage();
-  const auto trace = trace::read_trace_file(args.positional()[2]);
+  const auto trace = load_trace(args.positional()[2]);
   const core::Schedule schedule =
       core::read_schedule_file(args.positional()[3]);
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/eedcb.hpp"
+#include "support/deadline.hpp"
 #include "tvg/dts.hpp"
 
 namespace tveg::core {
@@ -21,6 +22,9 @@ namespace tveg::core {
 /// Options for temporal BIP.
 struct BipOptions {
   DtsOptions dts;
+  /// Wall-clock budget, polled once per grown node; expiry raises
+  /// support::TimeoutError. Default: unlimited.
+  support::Deadline deadline;
 };
 
 /// Runs temporal BIP on `instance` (broadcast-only, like the baselines).

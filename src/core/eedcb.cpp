@@ -31,9 +31,11 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
                           const DiscreteTimeSet& dts,
                           const EedcbOptions& options) {
   instance.validate();
+  options.deadline.check("eedcb");
 
   const auto aux_start = Clock::now();
   const AuxGraph aux(instance, dts, {.power_expansion = options.power_expansion});
+  options.deadline.check("aux_graph");
 
   SchedulerResult result;
   result.stats.dts_points = dts.total_points();
@@ -42,6 +44,7 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
   result.stats.aux_build_ms = ms_since(aux_start);
 
   graph::SteinerSolver solver(aux.digraph());
+  solver.set_deadline(options.deadline);
   graph::SteinerResult tree;
   {
     obs::TraceSpan span("steiner");

@@ -11,6 +11,7 @@
 
 #include "core/aux_graph.hpp"
 #include "core/schedule.hpp"
+#include "support/deadline.hpp"
 #include "tvg/dts.hpp"
 
 namespace tveg::core {
@@ -33,6 +34,11 @@ struct EedcbOptions {
   bool power_expansion = true;
   /// Local-improvement post-pass on the extracted schedule (core/prune.hpp).
   bool prune = true;
+  /// Wall-clock budget, polled between pipeline phases and inside the
+  /// Steiner search; expiry raises support::TimeoutError. The fallback
+  /// ladder (fault/degrade.hpp) catches it and descends to a cheaper
+  /// scheduler. Default: unlimited.
+  support::Deadline deadline;
 };
 
 /// Size and work diagnostics of one scheduler run. The *_ms phase timings

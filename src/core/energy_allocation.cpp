@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
+#include "support/rng.hpp"
 
 namespace tveg::core {
 
@@ -166,6 +167,39 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
       outcome.solver_passes = r.outer_iterations;
       w = problem.to_costs(r.w);
       break;
+    }
+  }
+
+  // Bounded retry before declaring infeasibility: numerical stalls (as
+  // opposed to structural unreachability, handled above) are often escaped
+  // by re-solving from a perturbed warm start with perturbed multipliers.
+  if (!outcome.feasible && options.max_retries > 0) {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& retries_metric = registry.counter("tveg.nlp.retries");
+    static obs::Counter& rescued_metric =
+        registry.counter("tveg.nlp.retry_successes");
+    support::Rng rng(options.retry_seed);
+    nlp::EnergyAllocationProblem problem(txs.size(), constraints, eps,
+                                         radio.w_min, radio.w_max);
+    std::vector<Cost> w0 = nlp::independent_allocation(
+        txs.size(), constraints, eps, radio.w_min, radio.w_max);
+    nlp::AugmentedLagrangianOptions al;
+    for (std::size_t attempt = 0; attempt < options.max_retries; ++attempt) {
+      ++outcome.retries;
+      retries_metric.add(1);
+      al.initial_penalty *= 4.0;  // perturbed multipliers: harder push
+      std::vector<Cost> start = w0;
+      for (Cost& x : start)
+        x *= 1.0 + options.retry_perturbation * rng.uniform();
+      const nlp::NlpResult r =
+          solve_augmented_lagrangian(problem, problem.from_costs(start), al);
+      outcome.solver_passes += r.outer_iterations;
+      if (r.feasible) {
+        outcome.feasible = true;
+        w = problem.to_costs(r.w);
+        rescued_metric.add(1);
+        break;
+      }
     }
   }
 

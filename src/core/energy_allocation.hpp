@@ -21,6 +21,16 @@ enum class AllocationSolver {
 /// Options for allocate_energy.
 struct AllocationOptions {
   AllocationSolver solver = AllocationSolver::kCoordinateDescent;
+  /// Bounded retry before declaring infeasibility: when the primary solver
+  /// reports infeasible on a structurally reachable backbone, re-attempt up
+  /// to this many times with the augmented-Lagrangian solver from a
+  /// perturbed warm start and perturbed penalty multipliers (deterministic
+  /// in retry_seed). 0 disables retries.
+  std::size_t max_retries = 0;
+  /// Relative warm-start perturbation per retry (multiplicative, uniform in
+  /// [1, 1 + p]); the initial penalty also grows 4× per retry.
+  double retry_perturbation = 0.25;
+  std::uint64_t retry_seed = 1;
 };
 
 /// Result of an allocation.
@@ -29,6 +39,7 @@ struct AllocationOutcome {
   bool feasible = false;          ///< all constraints satisfiable & satisfied
   std::size_t constraint_count = 0;
   std::size_t solver_passes = 0;  ///< coordinate passes / outer iterations
+  std::size_t retries = 0;        ///< perturbed re-attempts that ran
 };
 
 /// Solves Eq. 14–17 for the transmissions of `backbone` on

@@ -1,0 +1,122 @@
+#include "fault/degrade.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/bip.hpp"
+#include "core/eedcb.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tveg::fault {
+
+using support::Error;
+using support::ErrorCode;
+
+const char* rung_name(SolverRung rung) {
+  switch (rung) {
+    case SolverRung::kEedcb: return "eedcb";
+    case SolverRung::kBip: return "bip";
+    case SolverRung::kGreed: return "greed";
+  }
+  return "?";
+}
+
+namespace {
+
+core::SchedulerResult run_rung(SolverRung rung,
+                               const core::TmedbInstance& instance,
+                               const DiscreteTimeSet& dts,
+                               const RobustSolveOptions& options,
+                               const support::Deadline& deadline) {
+  switch (rung) {
+    case SolverRung::kEedcb: {
+      core::EedcbOptions eedcb = options.eedcb;
+      eedcb.deadline = deadline;
+      return core::run_eedcb(instance, dts, eedcb);
+    }
+    case SolverRung::kBip: {
+      core::BipOptions bip;
+      bip.deadline = deadline;
+      return core::run_bip(instance, dts, bip);
+    }
+    case SolverRung::kGreed: {
+      core::BaselineOptions greed;
+      greed.rule = core::BaselineRule::kGreedy;
+      return core::run_baseline(instance, dts, greed);
+    }
+  }
+  throw std::logic_error("unknown rung");
+}
+
+void count_descent(const Error& error) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& descents = registry.counter("tveg.fault.solve.descents");
+  static obs::Counter& timeouts = registry.counter("tveg.fault.solve.timeouts");
+  descents.add(1);
+  if (error.code == ErrorCode::kTimeout) timeouts.add(1);
+}
+
+}  // namespace
+
+RobustSolveResult robust_solve(const core::TmedbInstance& instance,
+                               const DiscreteTimeSet& dts,
+                               const RobustSolveOptions& options) {
+  obs::TraceSpan span("robust_solve");
+  instance.validate();
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& solves = registry.counter("tveg.fault.solve.attempts");
+  static obs::Counter& degraded_metric =
+      registry.counter("tveg.fault.solve.degraded");
+  solves.add(1);
+
+  // One budget for the whole ladder: a rung that burns the clock leaves
+  // less for the next, and the final rung ignores what is left entirely.
+  const support::Deadline deadline = options.budget_ms < 0
+                                         ? support::Deadline()
+                                         : support::Deadline::after_ms(
+                                               options.budget_ms);
+
+  RobustSolveResult out;
+  SolverRung rung = options.start;
+  for (;;) {
+    const bool last = rung == SolverRung::kGreed;
+    Error descent{ErrorCode::kInternal, "", -1};
+    try {
+      out.result = run_rung(rung, instance, dts, options,
+                            last ? support::Deadline() : deadline);
+      if (out.result.covered_all || last) {
+        out.rung = rung;
+        if (out.degraded()) degraded_metric.add(1);
+        return out;
+      }
+      descent = {ErrorCode::kInfeasible,
+                 std::string(rung_name(rung)) +
+                     " left nodes uncovered within the deadline",
+                 -1};
+    } catch (const support::TimeoutError& e) {
+      descent = {ErrorCode::kTimeout, e.what(), -1};
+    } catch (const std::exception& e) {
+      descent = {ErrorCode::kInternal,
+                 std::string(rung_name(rung)) + " threw: " + e.what(), -1};
+    }
+    count_descent(descent);
+    out.descents.push_back(std::move(descent));
+    rung = rung == SolverRung::kEedcb ? SolverRung::kBip : SolverRung::kGreed;
+  }
+}
+
+RobustFrResult robust_solve_fr(const core::TmedbInstance& instance,
+                               const DiscreteTimeSet& dts,
+                               const RobustSolveOptions& options,
+                               const core::AllocationOptions& alloc) {
+  RobustFrResult out;
+  out.backbone = robust_solve(instance, dts, options);
+  out.allocation =
+      core::allocate_energy(instance, out.backbone.result.schedule, alloc);
+  return out;
+}
+
+}  // namespace tveg::fault

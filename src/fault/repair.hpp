@@ -1,0 +1,73 @@
+// Schedule repair (robustness subsystem, layer 3).
+//
+// A schedule computed on the planned TVEG can be invalidated by reality:
+// injected faults (fault/fault_plan.hpp) drop edges, churn nodes and shrink
+// contacts, so relay entries silently stop delivering. Repair replays the
+// planned schedule against the *faulted* instance, detects the first time
+// the broadcast diverges from plan (a relay never receives the packet, or a
+// planned delivery is lost), and incrementally re-solves from the informed
+// set actually achieved at that moment via the online driver
+// (online::run_online_from) — the already-disseminated packets are kept,
+// only the uncovered remainder is re-planned. Counters live under
+// tveg.fault.repair.*.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "support/math.hpp"
+#include "tvg/dts.hpp"
+
+namespace tveg::fault {
+
+/// Options for one repair pass.
+struct RepairOptions {
+  /// RNG seed for the patch policy (the default epidemic patch policy is
+  /// deterministic; the seed only matters for stochastic policies).
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of replaying a planned schedule on a (faulted) instance and
+/// patching the divergence.
+struct RepairOutcome {
+  /// When each node actually received the packet under the planned schedule
+  /// on the faulted instance (+inf = never), before any repair.
+  std::vector<Time> informed_time;
+  /// Earliest time the execution diverged from plan (= deadline when the
+  /// plan survived the faults untouched).
+  Time detect_time = 0;
+  /// Nodes left uninformed by the deadline without / with the patch.
+  std::size_t uncovered_before = 0;
+  std::size_t uncovered_after = 0;
+  /// The incremental transmissions added by the repair pass.
+  core::Schedule patch;
+  /// Planned transmissions that actually fired, plus the patch — the
+  /// schedule that was really executed.
+  core::Schedule repaired;
+
+  bool diverged() const { return uncovered_before > 0; }
+  bool repaired_all() const { return uncovered_after == 0; }
+};
+
+/// Deterministic replay of `schedule` on `instance`: a transmission fires
+/// iff its relay holds the packet at its time, and a node counts as
+/// informed once the cumulative product of failure probabilities over all
+/// its arrivals drops to the instance's ε (Eq. 6, same accumulation as
+/// core::run_cascade — fading schedules split the failure budget across
+/// overlapping transmissions). Returns per-node informed times (+inf =
+/// never) and flags the transmissions that fired.
+std::vector<Time> replay_informed_times(const core::TmedbInstance& instance,
+                                        const core::Schedule& schedule,
+                                        std::vector<char>* fired = nullptr);
+
+/// Replays `planned` on the (faulted) `instance`, detects divergence from
+/// the expectation established by replaying it on `planned_instance` (the
+/// clean view the scheduler saw), and re-solves the uncovered remainder
+/// from the actually-informed set at the divergence time.
+RepairOutcome repair_schedule(const core::TmedbInstance& planned_instance,
+                              const core::TmedbInstance& instance,
+                              const DiscreteTimeSet& dts,
+                              const core::Schedule& planned,
+                              const RepairOptions& options = {});
+
+}  // namespace tveg::fault

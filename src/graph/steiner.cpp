@@ -114,6 +114,7 @@ void SteinerSolver::note_run(const ShortestPaths& sp) {
 const ShortestPaths& SteinerSolver::forward_from(VertexId v) {
   auto it = forward_cache_.find(v);
   if (it == forward_cache_.end()) {
+    deadline_.check("steiner");
     it = forward_cache_.emplace(v, dijkstra(g_, v)).first;
     note_run(it->second);
   }
@@ -166,6 +167,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
   //   (dist(v→u) + Σ k'-cheapest dist(u→terminal)) / k'.
   std::size_t remaining = want;
   while (remaining > 0) {
+    deadline_.check("steiner");
     double best_density = kInf;
     VertexId best_u = kNoVertex;
     std::size_t best_k = 0;
@@ -226,6 +228,7 @@ SteinerResult SteinerSolver::recursive_greedy(
   // dist(u → terminal) for every u, via Dijkstra on the reversed graph.
   dist_to_term_.assign(state.terminals.size(), {});
   for (std::size_t k = 0; k < state.terminals.size(); ++k) {
+    if ((k & 15u) == 0) deadline_.check("steiner");
     ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
     note_run(sp);
     dist_to_term_[k] = std::move(sp.dist);

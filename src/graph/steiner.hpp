@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "support/deadline.hpp"
 
 namespace tveg::graph {
 
@@ -43,6 +44,11 @@ struct SteinerResult {
 class SteinerSolver {
  public:
   explicit SteinerSolver(const Digraph& g);
+
+  /// Cooperative wall-clock budget: the heuristic solvers poll it between
+  /// shortest-path runs and density scans and throw support::TimeoutError
+  /// when it expires. Default: unlimited.
+  void set_deadline(support::Deadline deadline) { deadline_ = deadline; }
 
   /// Union of shortest paths to each terminal, then non-terminal leaves are
   /// pruned. O(|X|·SP) after one Dijkstra from the root.
@@ -85,6 +91,7 @@ class SteinerSolver {
   struct QueryScope;
 
   QueryStats stats_;
+  support::Deadline deadline_;
 
   /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the
   /// terminal set of the current recursive_greedy query.

@@ -25,24 +25,40 @@ core::SchedulerResult run_online(const core::TmedbInstance& instance,
 core::SchedulerResult run_online(const core::TmedbInstance& instance,
                                  const DiscreteTimeSet& dts, Policy& policy,
                                  const OnlineOptions& options) {
+  const auto n = static_cast<std::size_t>(instance.tveg->node_count());
+  std::vector<Time> informed_time(n, kInf);
+  informed_time[static_cast<std::size_t>(instance.source)] = 0;
+  return run_online_from(instance, dts, policy, std::move(informed_time), 0,
+                         options);
+}
+
+core::SchedulerResult run_online_from(const core::TmedbInstance& instance,
+                                      const DiscreteTimeSet& dts,
+                                      Policy& policy,
+                                      std::vector<Time> informed_time,
+                                      Time start_time,
+                                      const OnlineOptions& options) {
   instance.validate();
   TVEG_REQUIRE(instance.targets.empty(), "online driver is broadcast-only");
   const core::Tveg& tveg = *instance.tveg;
   const Time tau = tveg.latency();
   const auto n = static_cast<std::size_t>(tveg.node_count());
+  TVEG_REQUIRE(informed_time.size() == n,
+               "informed_time must have one entry per node");
 
   policy.reset();
   support::Rng rng(options.seed);
 
-  std::vector<Time> informed_time(n, kInf);
-  informed_time[static_cast<std::size_t>(instance.source)] = 0;
-  std::size_t uninformed_count = n - 1;
+  std::size_t uninformed_count = 0;
+  for (Time t : informed_time)
+    if (t == kInf) ++uninformed_count;
 
   core::SchedulerResult result;
   result.stats.dts_points = dts.total_points();
 
   for (Time t : dts.global_points()) {
     if (uninformed_count == 0) break;
+    if (t + kTimeTol < start_time) continue;
     if (t + tau > instance.deadline + kTimeTol) break;
 
     // Same-time cascade: a node informed at this instant (τ = 0) may get

@@ -29,4 +29,17 @@ core::SchedulerResult run_online(const core::TmedbInstance& instance,
                                  const DiscreteTimeSet& dts, Policy& policy,
                                  const OnlineOptions& options = {});
 
+/// Resumes a broadcast mid-flight: `informed_time[v]` is when v came to
+/// hold the packet (+inf = uninformed), and the driver offers opportunities
+/// only at event times >= `start_time`. This is the re-solve primitive of
+/// the schedule-repair engine (fault/repair.hpp): after a fault invalidates
+/// part of a schedule, the already-informed set keeps disseminating from
+/// the failure time instead of the whole broadcast failing.
+core::SchedulerResult run_online_from(const core::TmedbInstance& instance,
+                                      const DiscreteTimeSet& dts,
+                                      Policy& policy,
+                                      std::vector<Time> informed_time,
+                                      Time start_time,
+                                      const OnlineOptions& options = {});
+
 }  // namespace tveg::online

@@ -24,13 +24,18 @@ struct TrialState {
   const core::Tveg& tveg;
   const McOptions& options;
   support::Rng& rng;
+  /// This trial's index (TxFaultModel decisions are per-trial).
+  std::size_t trial = 0;
   /// edge_up[e]: the edge exists this trial (presence_reliability draw).
   std::vector<char> edge_up;
   /// Bernoulli draws this trial (presence + channel); flushed per run.
   std::size_t draws = 0;
+  /// Transmissions forced to fail by the fault model this trial.
+  std::size_t tx_faults_hit = 0;
 
-  TrialState(const core::Tveg& t, const McOptions& o, support::Rng& r)
-      : tveg(t), options(o), rng(r) {
+  TrialState(const core::Tveg& t, const McOptions& o, support::Rng& r,
+             std::size_t trial_index = 0)
+      : tveg(t), options(o), rng(r), trial(trial_index) {
     if (options.presence_reliability < 1.0) {
       edge_up.resize(tveg.graph().edge_count());
       for (auto& up : edge_up)
@@ -43,6 +48,14 @@ struct TrialState {
     if (edge_up.empty()) return true;
     const std::size_t e = tveg.graph().edge_id(a, b);
     return e != static_cast<std::size_t>(-1) && edge_up[e];
+  }
+
+  /// True when transmission k is forced to fail this trial (counted).
+  bool tx_forced_fail(std::size_t k) {
+    if (!options.tx_faults.active() || !options.tx_faults.fails(trial, k))
+      return false;
+    ++tx_faults_hit;
+    return true;
   }
 };
 
@@ -76,6 +89,7 @@ std::size_t run_trial_plain(const std::vector<core::Transmission>& txs,
           continue;  // relay does not hold the packet (yet)
         fired[k] = 1;
         progress = true;
+        if (state.tx_forced_fail(k)) continue;  // fault: emits nothing
         for (NodeId j : tveg.graph().neighbors_at(tx.relay, tx.time)) {
           if (!state.edge_alive(tx.relay, j)) continue;
           if (informed_at[static_cast<std::size_t>(j)] <= tx.time + tau)
@@ -125,7 +139,10 @@ std::size_t run_trial_interference(const std::vector<core::Transmission>& txs,
     std::vector<std::size_t> active;
     for (std::size_t k = group_begin; k < group_end; ++k) {
       const Time ia = informed_at[static_cast<std::size_t>(txs[k].relay)];
-      if (ia < t - 1e-9 || (tau > 1e-9 && ia <= t + 1e-9)) active.push_back(k);
+      if (ia < t - 1e-9 || (tau > 1e-9 && ia <= t + 1e-9)) {
+        if (state.tx_forced_fail(k)) continue;  // fault: emits nothing
+        active.push_back(k);
+      }
     }
 
     // Count concurrent signals per potential receiver.
@@ -175,9 +192,11 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
   std::atomic<std::size_t> full_count{0};
   std::atomic<std::size_t> total_draws{0};
 
+  std::atomic<std::size_t> total_tx_faults{0};
+
   auto trial = [&](std::size_t i) {
     support::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
-    TrialState state(tveg, options, rng);
+    TrialState state(tveg, options, rng, i);
     std::vector<Time> informed_at(static_cast<std::size_t>(tveg.node_count()));
     const std::size_t informed =
         options.model_interference
@@ -187,6 +206,7 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
     if (informed == static_cast<std::size_t>(tveg.node_count()))
       full_count.fetch_add(1, std::memory_order_relaxed);
     total_draws.fetch_add(state.draws, std::memory_order_relaxed);
+    total_tx_faults.fetch_add(state.tx_faults_hit, std::memory_order_relaxed);
   };
 
   const auto sim_start = std::chrono::steady_clock::now();
@@ -207,9 +227,12 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
       registry.counter("tveg.mc.channel_draws");
   static obs::Gauge& rate_metric =
       registry.gauge("tveg.mc.last_draws_per_sec");
+  static obs::Counter& tx_faults_metric =
+      registry.counter("tveg.fault.injected.tx_failure");
   runs_metric.add(1);
   trials_metric.add(options.trials);
   draws_metric.add(total_draws.load());
+  tx_faults_metric.add(total_tx_faults.load());
   if (sim_seconds > 0)
     rate_metric.set(static_cast<double>(total_draws.load()) / sim_seconds);
 

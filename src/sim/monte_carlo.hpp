@@ -13,6 +13,7 @@
 
 #include "core/schedule.hpp"
 #include "core/tveg.hpp"
+#include "fault/fault_plan.hpp"
 #include "support/stats.hpp"
 
 namespace tveg::sim {
@@ -33,6 +34,10 @@ struct McOptions {
   /// group) transmissions decodes none of them; concurrent relaying is
   /// disabled (a node cannot receive and transmit in the same instant).
   bool model_interference = false;
+  /// Forced transmission failures (FaultPlan::tx_failure): a failing
+  /// transmission emits nothing that trial — no deliveries, no channel
+  /// draws. Deterministic per (seed, trial, tx index); default inactive.
+  fault::TxFaultModel tx_faults;
 };
 
 /// Aggregated delivery statistics.

@@ -58,16 +58,40 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       tasks_.pop();
     }
     tasks_metric.add(1);
+    // A task must never unwind into the worker loop: parallel_for chunks
+    // catch internally and submit goes through packaged_task, but a stray
+    // throw here would std::terminate the process. Swallow-and-count is the
+    // worst case, not the contract.
+    static obs::Counter& dropped_metric =
+        registry.counter("tveg.pool.uncaught_exceptions");
     if (task.timed) {
       const auto start = Clock::now();
       wait_metric.observe(us_between(task.enqueued, start));
-      task.fn();
+      try {
+        task.fn();
+      } catch (...) {
+        dropped_metric.add(1);
+      }
       busy_metric.add(
           static_cast<std::uint64_t>(us_between(start, Clock::now())));
     } else {
-      task.fn();
+      try {
+        task.fn();
+      } catch (...) {
+        dropped_metric.add(1);
+      }
     }
   }
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    const bool timed = obs::enabled();
+    const auto now = timed ? Clock::now() : Clock::time_point{};
+    tasks_.push({std::move(fn), now, timed});
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -1,24 +1,34 @@
-// Minimal work-stealing-free thread pool with a blocking parallel_for.
+// Minimal work-stealing-free thread pool with a blocking parallel_for and a
+// future-returning submit.
 //
 // Used for embarrassingly parallel loops: Monte-Carlo channel draws and the
 // benchmark parameter sweeps. The pool is deliberately simple — static
 // chunking over an index range — because every task in this library is
 // CPU-bound and uniform enough that dynamic scheduling buys nothing.
+//
+// Failure semantics: an exception thrown inside a pooled task always
+// reaches the waiting caller — parallel_for rethrows the first body
+// exception after the whole range ran, submit delivers it through the
+// returned future — and never terminates or wedges a worker.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace tveg::support {
 
-/// Fixed-size thread pool; `submit` enqueues, `parallel_for` blocks until an
-/// index range has been fully processed.
+/// Fixed-size thread pool; `submit` enqueues one task, `parallel_for`
+/// blocks until an index range has been fully processed.
 class ThreadPool {
  public:
   /// Creates `threads` workers (defaults to hardware concurrency, min 1).
@@ -32,9 +42,22 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [begin, end), split into contiguous chunks
   /// across the pool plus the calling thread; returns when all complete.
-  /// Exceptions from body are rethrown (first one wins).
+  /// Exceptions from body are rethrown (first one wins); the remaining
+  /// indices of the throwing chunk are skipped, other chunks run to
+  /// completion.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
+
+  /// Enqueues one callable; the returned future yields its result, or
+  /// rethrows whatever it threw. The pool itself survives throwing tasks.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
 
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();
@@ -48,6 +71,7 @@ class ThreadPool {
     bool timed = false;
   };
 
+  void enqueue(std::function<void()> fn);
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;

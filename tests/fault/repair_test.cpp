@@ -1,0 +1,165 @@
+#include "fault/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "fault/fault_plan.hpp"
+#include "support/math.hpp"
+
+namespace tveg::fault {
+namespace {
+
+using support::kInf;
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+/// Chain 0 — 1 — 2 — 3 with strictly ordered contact windows.
+trace::ContactTrace chain_trace() {
+  trace::ContactTrace t(4, 60.0);
+  t.add({0, 1, 0.0, 10.0, 1.0});
+  t.add({1, 2, 20.0, 30.0, 1.0});
+  t.add({2, 3, 40.0, 50.0, 1.0});
+  t.sort();
+  return t;
+}
+
+/// The planned relay schedule for the chain (unit costs reach distance 1).
+core::Schedule chain_schedule() {
+  core::Schedule s;
+  s.add(0, 5.0, 1.0);
+  s.add(1, 25.0, 1.0);
+  s.add(2, 45.0, 1.0);
+  return s;
+}
+
+TEST(Repair, ReplayMatchesPlanOnCleanInstance) {
+  const trace::ContactTrace t = chain_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance inst{&tveg, 0, 60.0};
+
+  std::vector<char> fired;
+  const auto informed = replay_informed_times(inst, chain_schedule(), &fired);
+  ASSERT_EQ(informed.size(), 4u);
+  EXPECT_DOUBLE_EQ(informed[0], 0.0);
+  EXPECT_DOUBLE_EQ(informed[1], 5.0);
+  EXPECT_DOUBLE_EQ(informed[2], 25.0);
+  EXPECT_DOUBLE_EQ(informed[3], 45.0);
+  for (char f : fired) EXPECT_TRUE(f);
+}
+
+TEST(Repair, NoFaultMeansNoPatch) {
+  const trace::ContactTrace t = chain_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance inst{&tveg, 0, 60.0};
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  const RepairOutcome out =
+      repair_schedule(inst, inst, dts, chain_schedule());
+  EXPECT_FALSE(out.diverged());
+  EXPECT_EQ(out.uncovered_before, 0u);
+  EXPECT_EQ(out.uncovered_after, 0u);
+  EXPECT_TRUE(out.patch.empty());
+  EXPECT_EQ(out.repaired.size(), chain_schedule().size());
+  EXPECT_DOUBLE_EQ(out.detect_time, 60.0);
+}
+
+TEST(Repair, DropoutScenarioStrictlyReducesUncoveredNodes) {
+  // Tentpole acceptance (c): the planned 1→2 contact window vanishes (edge
+  // dropout), so the planned relay entry at t=25 delivers nothing and nodes
+  // 2 and 3 are stranded. The pair comes back at [35, 38] — only an
+  // incremental re-solve from the informed set can exploit it.
+  const trace::ContactTrace planned_trace = chain_trace();
+  trace::ContactTrace faulted_trace(4, 60.0);
+  faulted_trace.add({0, 1, 0.0, 10.0, 1.0});
+  faulted_trace.add({1, 2, 35.0, 38.0, 1.0});  // the replacement window
+  faulted_trace.add({2, 3, 40.0, 50.0, 1.0});
+  faulted_trace.sort();
+
+  const core::Tveg planned_tveg(planned_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::Tveg faulted_tveg(faulted_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance planned_inst{&planned_tveg, 0, 60.0};
+  const core::TmedbInstance faulted_inst{&faulted_tveg, 0, 60.0};
+  const DiscreteTimeSet dts = faulted_tveg.build_dts();
+
+  const RepairOutcome out =
+      repair_schedule(planned_inst, faulted_inst, dts, chain_schedule());
+
+  ASSERT_TRUE(out.diverged());
+  EXPECT_EQ(out.uncovered_before, 2u);  // nodes 2 and 3
+  // Divergence is detected when node 2's expected arrival (t=25) is missed.
+  EXPECT_DOUBLE_EQ(out.detect_time, 25.0);
+  // Repair must strictly reduce the uncovered count — here all the way.
+  EXPECT_LT(out.uncovered_after, out.uncovered_before);
+  EXPECT_EQ(out.uncovered_after, 0u);
+  EXPECT_FALSE(out.patch.empty());
+
+  // The repaired schedule must actually deliver on the faulted reality.
+  const auto informed = replay_informed_times(faulted_inst, out.repaired);
+  for (Time when : informed) EXPECT_LT(when, kInf);
+}
+
+TEST(Repair, UnreachableNodeStaysUncoveredButOthersRecover) {
+  // Node 3's only contact disappears entirely: repair recovers node 2 via
+  // the replacement window but cannot invent connectivity for 3.
+  const trace::ContactTrace planned_trace = chain_trace();
+  trace::ContactTrace faulted_trace(4, 60.0);
+  faulted_trace.add({0, 1, 0.0, 10.0, 1.0});
+  faulted_trace.add({1, 2, 35.0, 38.0, 1.0});
+  faulted_trace.sort();
+
+  const core::Tveg planned_tveg(planned_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::Tveg faulted_tveg(faulted_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance planned_inst{&planned_tveg, 0, 60.0};
+  const core::TmedbInstance faulted_inst{&faulted_tveg, 0, 60.0};
+  const DiscreteTimeSet dts = faulted_tveg.build_dts();
+
+  const RepairOutcome out =
+      repair_schedule(planned_inst, faulted_inst, dts, chain_schedule());
+  ASSERT_TRUE(out.diverged());
+  EXPECT_EQ(out.uncovered_before, 2u);
+  EXPECT_EQ(out.uncovered_after, 1u);  // node 3 is physically unreachable
+  EXPECT_LT(out.uncovered_after, out.uncovered_before);
+}
+
+TEST(Repair, RepairedScheduleKeepsOnlyFiredPlannedTransmissions) {
+  // The planned 2→3 entry never fires on the faulted reality (relay 2 is
+  // uninformed at t=45 without repair... but with the patch informing 2 at
+  // 35, the planned t=45 entry is NOT part of `repaired` because repaired
+  // collects fired-under-no-repair transmissions plus the patch. Assert
+  // that exact composition.
+  const trace::ContactTrace planned_trace = chain_trace();
+  trace::ContactTrace faulted_trace(4, 60.0);
+  faulted_trace.add({0, 1, 0.0, 10.0, 1.0});
+  faulted_trace.add({1, 2, 35.0, 38.0, 1.0});
+  faulted_trace.add({2, 3, 40.0, 50.0, 1.0});
+  faulted_trace.sort();
+
+  const core::Tveg planned_tveg(planned_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::Tveg faulted_tveg(faulted_trace, unit_radio(),
+                                {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance planned_inst{&planned_tveg, 0, 60.0};
+  const core::TmedbInstance faulted_inst{&faulted_tveg, 0, 60.0};
+  const DiscreteTimeSet dts = faulted_tveg.build_dts();
+
+  const RepairOutcome out = repair_schedule(planned_inst, faulted_inst, dts,
+                                            chain_schedule());
+  EXPECT_EQ(out.repaired.size(), out.patch.size() + 2u);  // 0@5 and 1@25
+}
+
+}  // namespace
+}  // namespace tveg::fault

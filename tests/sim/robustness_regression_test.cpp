@@ -1,0 +1,103 @@
+// Tier-1 promotion of the robustness_future_work presence-reliability
+// sweep: small instance, reduced trials, fixed seeds, loose monotone
+// assertions. Guards the non-deterministic-TVG evaluation path (and the new
+// forced-tx-failure model) against regressions without a bench run.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "sim/experiment.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::sim {
+namespace {
+
+const Workbench& small_bench() {
+  static const Workbench* bench = [] {
+    trace::HaggleLikeConfig cfg;
+    cfg.nodes = 12;
+    cfg.horizon = 6000;
+    cfg.pair_probability = 0.8;
+    cfg.activation_ramp_end = 500;
+    cfg.seed = 3;
+    return new Workbench(trace::generate_haggle_like(cfg), paper_radio());
+  }();
+  return *bench;
+}
+
+TEST(RobustnessRegression, DeliveryDegradesMonotonicallyWithEdgeLoss) {
+  const Workbench& bench = small_bench();
+  const auto outcome = bench.run(Algorithm::kFrEedcb, 0, 4000.0, 1);
+  ASSERT_TRUE(outcome.covered_all);
+  ASSERT_TRUE(outcome.allocation_feasible);
+
+  double previous = 1.1;
+  for (double q : {1.0, 0.8, 0.6}) {
+    McOptions mc;
+    mc.trials = 300;
+    mc.seed = 7;
+    mc.presence_reliability = q;
+    const auto stats =
+        bench.delivery_under_fading(0, outcome.schedule, mc);
+    EXPECT_GT(stats.mean_delivery_ratio, 0.0) << "q=" << q;
+    EXPECT_LE(stats.mean_delivery_ratio, 1.0) << "q=" << q;
+    // Loose monotonicity: killing more edges must not *help* (small MC
+    // noise tolerance — the seeds are fixed, so this is deterministic).
+    EXPECT_LE(stats.mean_delivery_ratio, previous + 0.05) << "q=" << q;
+    previous = stats.mean_delivery_ratio;
+  }
+}
+
+TEST(RobustnessRegression, FullReliabilityBeatsHeavyLossClearly) {
+  const Workbench& bench = small_bench();
+  const auto outcome = bench.run(Algorithm::kFrEedcb, 0, 4000.0, 1);
+  ASSERT_TRUE(outcome.covered_all && outcome.allocation_feasible);
+
+  McOptions reliable;
+  reliable.trials = 300;
+  reliable.seed = 7;
+  McOptions lossy = reliable;
+  lossy.presence_reliability = 0.5;
+  const auto d_rel = bench.delivery_under_fading(0, outcome.schedule,
+                                                 reliable);
+  const auto d_loss = bench.delivery_under_fading(0, outcome.schedule, lossy);
+  EXPECT_GT(d_rel.mean_delivery_ratio, d_loss.mean_delivery_ratio);
+}
+
+TEST(RobustnessRegression, SimulationIsDeterministicUnderFixedSeed) {
+  const Workbench& bench = small_bench();
+  const auto outcome = bench.run(Algorithm::kFrEedcb, 0, 4000.0, 1);
+  ASSERT_TRUE(outcome.covered_all && outcome.allocation_feasible);
+
+  McOptions mc;
+  mc.trials = 200;
+  mc.seed = 11;
+  mc.presence_reliability = 0.8;
+  mc.tx_faults = fault::TxFaultModel(11, 0.1);
+  const auto first = bench.delivery_under_fading(0, outcome.schedule, mc);
+  const auto second = bench.delivery_under_fading(0, outcome.schedule, mc);
+  EXPECT_DOUBLE_EQ(first.mean_delivery_ratio, second.mean_delivery_ratio);
+  EXPECT_DOUBLE_EQ(first.full_delivery_fraction,
+                   second.full_delivery_fraction);
+}
+
+TEST(RobustnessRegression, ForcedTxFailuresReduceDelivery) {
+  const Workbench& bench = small_bench();
+  const auto outcome = bench.run(Algorithm::kFrEedcb, 0, 4000.0, 1);
+  ASSERT_TRUE(outcome.covered_all && outcome.allocation_feasible);
+
+  McOptions clean;
+  clean.trials = 300;
+  clean.seed = 5;
+  McOptions faulty = clean;
+  faulty.tx_faults = fault::TxFaultModel(5, 0.5);
+  const auto d_clean = bench.delivery_under_fading(0, outcome.schedule,
+                                                   clean);
+  const auto d_fault = bench.delivery_under_fading(0, outcome.schedule,
+                                                   faulty);
+  // Killing half of all transmissions must visibly hurt.
+  EXPECT_LT(d_fault.mean_delivery_ratio,
+            d_clean.mean_delivery_ratio - 0.05);
+}
+
+}  // namespace
+}  // namespace tveg::sim

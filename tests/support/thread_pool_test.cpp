@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -68,6 +69,48 @@ TEST(ThreadPool, GlobalPoolWorks) {
 TEST(ThreadPool, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionToWaitingCaller) {
+  // A throwing task must neither terminate the process nor hang the
+  // caller: the exception travels through the future to whoever waits.
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("submitted boom"); });
+  try {
+    future.get();
+    FAIL() << "expected the submitted exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "submitted boom");
+  }
+}
+
+TEST(ThreadPool, PoolUsableAfterSubmittedException) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::logic_error("first"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+
+  // Workers must survive the throw: both futures and parallel_for still run.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_EQ(futures[i].get(), i * i);
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+// Malformed-input corpus: every file under tests/trace/corpus/ is an
+// invalid trace, and the parser must answer each with a structured error —
+// the right code, the right line number, never an exception and never a
+// silently-"repaired" trace. The corpus also runs under ASan/UBSan in CI
+// (scripts/ci.sh), so each file doubles as a memory-safety probe.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "support/result.hpp"
+#include "trace/io.hpp"
+
+#ifndef TVEG_TRACE_CORPUS_DIR
+#error "TVEG_TRACE_CORPUS_DIR must point at tests/trace/corpus"
+#endif
+
+namespace tveg::trace {
+namespace {
+
+using support::ErrorCode;
+
+struct Expectation {
+  ErrorCode code;
+  long line;  // -1 = whole-file error, no line attribution
+};
+
+const std::map<std::string, Expectation>& expectations() {
+  static const std::map<std::string, Expectation> table = {
+      {"bad_token.trace", {ErrorCode::kParse, 1}},
+      {"too_few_fields.trace", {ErrorCode::kParse, 1}},
+      {"too_many_fields.trace", {ErrorCode::kParse, 1}},
+      {"bad_node_id.trace", {ErrorCode::kParse, 1}},
+      {"overflow_number.trace", {ErrorCode::kParse, 1}},
+      {"nan_time.trace", {ErrorCode::kParse, 1}},
+      {"self_contact.trace", {ErrorCode::kInvalidInput, 2}},
+      {"negative_start.trace", {ErrorCode::kInvalidInput, 1}},
+      {"inverted_interval.trace", {ErrorCode::kInvalidInput, 1}},
+      {"zero_length_interval.trace", {ErrorCode::kInvalidInput, 1}},
+      {"negative_distance.trace", {ErrorCode::kInvalidInput, 1}},
+      {"out_of_range_node.trace", {ErrorCode::kInvalidInput, 2}},
+      {"bad_header_nodes.trace", {ErrorCode::kParse, 1}},
+      {"bad_header_horizon.trace", {ErrorCode::kParse, 1}},
+      {"single_node.trace", {ErrorCode::kInvalidInput, -1}},
+      {"overlapping_intervals.trace", {ErrorCode::kInvalidInput, 3}},
+  };
+  return table;
+}
+
+TEST(TraceCorpus, EveryFileFailsWithStructuredError) {
+  const std::filesystem::path dir = TVEG_TRACE_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".trace") continue;
+    ++seen;
+    const std::string name = entry.path().filename().string();
+    SCOPED_TRACE(name);
+
+    const auto result = parse_trace_file(entry.path().string());
+    ASSERT_FALSE(result.ok()) << "corpus file parsed successfully";
+    EXPECT_FALSE(result.error().message.empty());
+    EXPECT_NE(result.error().code, ErrorCode::kInternal);
+
+    const auto it = expectations().find(name);
+    ASSERT_NE(it, expectations().end())
+        << "corpus file without a registered expectation";
+    EXPECT_EQ(result.error().code, it->second.code);
+    EXPECT_EQ(result.error().line, it->second.line);
+
+    // The legacy throwing API must surface the same message, not crash.
+    EXPECT_THROW(read_trace_file(entry.path().string()),
+                 std::invalid_argument);
+  }
+  EXPECT_EQ(seen, expectations().size())
+      << "corpus and expectation table out of sync";
+}
+
+TEST(TraceCorpus, ErrorRenderingCarriesLineNumber) {
+  const std::filesystem::path file =
+      std::filesystem::path(TVEG_TRACE_CORPUS_DIR) / "self_contact.trace";
+  const auto result = parse_trace_file(file.string());
+  ASSERT_FALSE(result.ok());
+  const std::string rendered = result.error().to_string();
+  EXPECT_NE(rendered.find("line 2"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace tveg::trace

@@ -63,6 +63,46 @@ TEST(TraceIo, MissingFileThrows) {
                std::invalid_argument);
 }
 
+TEST(TraceIo, ParseReportsLineNumbers) {
+  std::stringstream ss("# comment\n0 1 5 10\n0 1 bogus 30\n");
+  const auto result = parse_trace(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kParse);
+  EXPECT_EQ(result.error().line, 3);
+}
+
+TEST(TraceIo, ParseRejectsOutOfRangeNodeIds) {
+  // The pre-Result parser silently *dropped* contacts whose endpoints fell
+  // outside the declared node count; now they are a structured error.
+  std::stringstream ss("# tveg-trace nodes=2 horizon=20\n0 4 5 10\n");
+  const auto result = parse_trace(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kInvalidInput);
+  EXPECT_EQ(result.error().line, 2);
+}
+
+TEST(TraceIo, ParseRejectsOverlappingPairIntervals) {
+  std::stringstream ss("0 1 0 10\n1 0 8 12\n");
+  const auto result = parse_trace(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kInvalidInput);
+  EXPECT_EQ(result.error().line, 2);
+}
+
+TEST(TraceIo, TouchingPairIntervalsAreLegal) {
+  std::stringstream ss("0 1 0 10\n0 1 10 15\n");
+  const auto result = parse_trace(ss);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().contact_count(), 2u);
+}
+
+TEST(TraceIo, ParseSucceedsOnWellFormedInput) {
+  std::stringstream ss("# tveg-trace nodes=3 horizon=50\n0 1 5 10 2.0\n");
+  const auto result = parse_trace(ss);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().node_count(), 3);
+}
+
 TEST(TraceIo, FileRoundTrip) {
   ContactTrace t(2, 10.0);
   t.add({0, 1, 1.0, 2.0, 1.5});
