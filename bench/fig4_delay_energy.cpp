@@ -24,7 +24,7 @@ int main() {
   report.set_config("deadline_from_s", 2000);
   report.set_config("deadline_to_s", 6000);
 
-  for (const auto [algo, title] :
+  for (const auto& [algo, title] :
        {std::pair{sim::Algorithm::kEedcb,
                   "Fig. 4(a): EEDCB, static channel — "
                   "normalized energy vs delay constraint"},

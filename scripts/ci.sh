@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# CI driver: plain build + full test suite, then the same suite under
-# AddressSanitizer and UndefinedBehaviorSanitizer (TVEG_SANITIZE hooks in
-# the root CMakeLists). The ASan pass also drives the malformed-input trace
-# corpus through the CLI parser, so every rejection path runs under ASan
-# with real file I/O, not just through the gtest harness.
+# CI driver, five stages:
+#   plain  build (TVEG_WERROR=ON: -Werror + the hardened -Wconversion
+#          -Wdouble-promotion -Wnon-virtual-dtor tier) + full test suite
+#   lint   scripts/lint.sh — clang-tidy (when available) + tveg-lint
+#   asan   suite under AddressSanitizer; also drives the malformed-input
+#          trace corpus through the CLI parser, so every rejection path
+#          runs under ASan with real file I/O
+#   ubsan  suite under UndefinedBehaviorSanitizer
+#   tsan   suite under ThreadSanitizer — the ThreadPool / Monte-Carlo /
+#          parallel-solve stress tests provoke the contention TSan needs
 #
 # Usage: scripts/ci.sh [--fast]
-#   --fast   skip the sanitizer builds (plain build + ctest only)
+#   --fast   plain build + ctest only (skips lint and all sanitizer tiers)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -50,12 +55,18 @@ drive_corpus() {
   echo "corpus: ${n} malformed traces cleanly rejected under ASan"
 }
 
-run_suite "plain" "${REPO_ROOT}/build-ci"
+# CI builds the plain suite with the hardened warning tier fatal; the
+# sanitizer suites keep TVEG_WERROR off so a sanitizer-instrumentation
+# quirk can never mask a real race/overflow report behind a build failure.
+run_suite "plain" "${REPO_ROOT}/build-ci" -DTVEG_WERROR=ON
 
 if [[ "${FAST}" -eq 0 ]]; then
+  echo "==== [lint] scripts/lint.sh ===="
+  "${REPO_ROOT}/scripts/lint.sh"
   run_suite "asan" "${REPO_ROOT}/build-asan" -DTVEG_SANITIZE=address
   drive_corpus "${REPO_ROOT}/build-asan"
   run_suite "ubsan" "${REPO_ROOT}/build-ubsan" -DTVEG_SANITIZE=undefined
+  run_suite "tsan" "${REPO_ROOT}/build-tsan" -DTVEG_SANITIZE=thread
 fi
 
 echo "==== CI green ===="

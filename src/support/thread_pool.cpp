@@ -1,7 +1,7 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -27,18 +27,23 @@ ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
+  thread_count_ = workers_.size();
   obs::MetricsRegistry::global()
       .gauge("tveg.pool.workers")
       .set(static_cast<double>(workers_.size()));
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;  // idempotent; workers already joined or joining
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -87,6 +92,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
     const bool timed = obs::enabled();
     const auto now = timed ? Clock::now() : Clock::time_point{};
     tasks_.push({std::move(fn), now, timed});
@@ -98,13 +105,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  const std::size_t chunks = std::min(n, thread_count_ + 1);
   if (chunks <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
 
-  std::atomic<std::size_t> remaining{chunks};
+  std::size_t remaining = chunks;  // guarded by done_mutex
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
@@ -119,14 +126,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       std::lock_guard lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }
-    if (remaining.fetch_sub(1) == 1) {
-      std::lock_guard lock(done_mutex);
-      done_cv.notify_one();
-    }
+    // The decrement must happen under done_mutex: if it were done outside
+    // (say with an atomic), the waiter could observe zero, return, and
+    // destroy done_mutex/done_cv while this worker was still about to lock
+    // them — a use-after-free of the caller's stack frame (caught by the
+    // TSan tier). Holding the mutex delays the waiter's predicate read
+    // until this worker is done touching the locals.
+    std::lock_guard lock(done_mutex);
+    if (--remaining == 0) done_cv.notify_one();
   };
 
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    if (stopping_) {
+      // Stopped pool: degrade to inline serial execution (outside the
+      // intake lock so body may itself touch the pool without deadlock).
+      lock.unlock();
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
     const bool timed = obs::enabled();
     const auto now = timed ? Clock::now() : Clock::time_point{};
     for (std::size_t chunk = 1; chunk < chunks; ++chunk)
@@ -136,7 +154,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   run_chunk(0);  // calling thread takes the first chunk
 
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

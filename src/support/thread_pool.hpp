@@ -10,6 +10,13 @@
 // reaches the waiting caller — parallel_for rethrows the first body
 // exception after the whole range ran, submit delivers it through the
 // returned future — and never terminates or wedges a worker.
+//
+// Shutdown semantics: `shutdown()` (also run by the destructor) stops
+// intake first, then drains already-queued tasks and joins the workers.
+// A submit that races with shutdown either wins — its task runs and the
+// future resolves — or loses and throws std::runtime_error synchronously;
+// a future returned by submit never silently wedges. parallel_for on a
+// stopped pool degrades to running the whole range inline on the caller.
 #pragma once
 
 #include <chrono>
@@ -38,7 +45,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const { return workers_.size(); }
+  /// Worker count chosen at construction (stable across shutdown).
+  std::size_t thread_count() const { return thread_count_; }
 
   /// Runs body(i) for every i in [begin, end), split into contiguous chunks
   /// across the pool plus the calling thread; returns when all complete.
@@ -48,8 +56,13 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Stops intake, drains the queue, joins the workers. Idempotent and
+  /// safe to call concurrently with submit (racing submits throw).
+  void shutdown();
+
   /// Enqueues one callable; the returned future yields its result, or
   /// rethrows whatever it threw. The pool itself survives throwing tasks.
+  /// Throws std::runtime_error if the pool is shut down (see above).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -75,6 +88,7 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::size_t thread_count_ = 0;
   std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;

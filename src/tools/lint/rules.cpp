@@ -1,0 +1,409 @@
+#include "tools/lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace tveg::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Comment- and string-aware views of a source file. Both views preserve
+/// byte offsets and line structure exactly (stripped characters become
+/// spaces), so regex match positions map straight back to lines.
+struct Views {
+  std::string tokens;        ///< comments gone, string/char contents blanked
+  std::string with_strings;  ///< comments gone, string literals kept
+};
+
+Views strip(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Views v;
+  v.tokens.assign(text.size(), ' ');
+  v.with_strings.assign(text.size(), ' ');
+  State state = State::kCode;
+  std::string raw_delim;  // ")delim" that terminates the active raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      v.tokens[i] = '\n';
+      v.with_strings[i] = '\n';
+      if (state == State::kLine) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          std::size_t p = i + 2;
+          raw_delim = ")";
+          while (p < text.size() && text[p] != '(') raw_delim += text[p++];
+          raw_delim += '"';
+          v.tokens[i] = 'R';
+          v.with_strings[i] = 'R';
+          state = State::kRaw;
+          // keep the opening quote visible in both views
+          if (i + 1 < text.size()) {
+            v.tokens[i + 1] = '"';
+            v.with_strings[i + 1] = '"';
+            ++i;
+          }
+        } else if (c == '"') {
+          v.tokens[i] = '"';
+          v.with_strings[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          v.tokens[i] = '\'';
+          v.with_strings[i] = '\'';
+          state = State::kChar;
+        } else {
+          v.tokens[i] = c;
+          v.with_strings[i] = c;
+        }
+        break;
+      case State::kLine:
+        break;  // swallowed until newline
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        v.with_strings[i] = c;
+        if (c == '\\' && next != '\0') {
+          if (i + 1 < text.size() && next != '\n') v.with_strings[i + 1] = next;
+          ++i;
+        } else if (c == '"') {
+          v.tokens[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          v.tokens[i] = '\'';
+          v.with_strings[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        v.with_strings[i] = c;
+        if (c == ')' &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          const std::size_t end = i + raw_delim.size() - 1;
+          for (std::size_t p = i; p <= end && p < text.size(); ++p)
+            if (text[p] != '\n') v.with_strings[p] = text[p];
+          if (end < text.size()) {
+            v.tokens[end] = '"';
+            i = end;
+          }
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return v;
+}
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+long line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<long>(it - starts.begin());
+}
+
+/// Per-line rule suppressions declared as `tveg-lint: allow(rule-a,rule-b)`.
+bool suppressed(const std::string& text,
+                const std::vector<std::size_t>& starts, long line,
+                const std::string& rule) {
+  const auto idx = static_cast<std::size_t>(line - 1);
+  if (idx >= starts.size()) return false;
+  const std::size_t begin = starts[idx];
+  const std::size_t end =
+      idx + 1 < starts.size() ? starts[idx + 1] : text.size();
+  const std::string src_line = text.substr(begin, end - begin);
+  const std::size_t at = src_line.find("tveg-lint: allow(");
+  if (at == std::string::npos) return false;
+  const std::size_t close = src_line.find(')', at);
+  if (close == std::string::npos) return false;
+  const std::string list = src_line.substr(at, close - at);
+  return list.find(rule) != std::string::npos;
+}
+
+std::string normalized(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_ends_with(const std::string& path, const std::string& tail) {
+  const std::string p = normalized(path);
+  return p.size() >= tail.size() &&
+         p.compare(p.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+bool in_tools_dir(const std::string& path) {
+  const std::string p = normalized(path);
+  return p.find("/tools/") != std::string::npos ||
+         p.rfind("tools/", 0) == 0;
+}
+
+/// One regex-driven token rule; `view_with_strings` selects which stripped
+/// view it scans.
+struct TokenRule {
+  const char* id;
+  const char* pattern;
+  const char* message;
+  bool view_with_strings = false;
+};
+
+const std::array<TokenRule, 3>& token_rules() {
+  static const std::array<TokenRule, 3> rules = {{
+      {"no-unseeded-rng",
+       R"(\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bdefault_random_engine\b|\bmt19937(?:_64)?\b|\buniform_int_distribution\b|\buniform_real_distribution\b|(?:^|[^\w.:])rand\s*\()",
+       "unseeded/platform randomness; draw from support::Rng so one seed "
+       "reproduces the experiment"},
+      {"no-wall-clock",
+       R"(\bstd::time\s*\(|\bsystem_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstrftime\b|\basctime\b|\bctime\b|\bclock\s*\(|(?:^|[^\w.:>])time\s*\()",
+       "wall-clock read; budgets go through support::Deadline, timing "
+       "metrics use steady_clock"},
+      {"no-float",
+       R"(\bfloat\b)",
+       "float in an accumulation codebase; Eq. 6 / Eq. 14-17 paths require "
+       "double"},
+  }};
+  return rules;
+}
+
+bool rule_applies(const std::string& rule, const std::string& path) {
+  if (rule == "no-unseeded-rng")
+    return !path_ends_with(path, "support/rng.hpp") &&
+           !path_ends_with(path, "support/rng.cpp");
+  if (rule == "no-wall-clock")
+    return !path_ends_with(path, "support/deadline.hpp");
+  return true;
+}
+
+/// Registered metric subsystems; a key must read tveg.<subsystem>.<name>.
+const char* kMetricKeyPattern =
+    R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
+
+void check_metrics_keys(const std::string& path, const Views& views,
+                        const std::vector<std::size_t>& starts,
+                        const std::string& raw,
+                        std::vector<Finding>& findings) {
+  static const std::regex call(
+      R"(\.(counter|gauge|histogram)\s*\(\s*"([^"\n]*)\")");
+  static const std::regex key(kMetricKeyPattern);
+  for (auto it = std::sregex_iterator(views.with_strings.begin(),
+                                      views.with_strings.end(), call);
+       it != std::sregex_iterator(); ++it) {
+    const std::string literal = (*it)[2].str();
+    if (std::regex_match(literal, key)) continue;
+    const long line =
+        line_of(starts, static_cast<std::size_t>(it->position(2)));
+    if (suppressed(raw, starts, line, "metrics-key")) continue;
+    findings.push_back(
+        {path, line, "metrics-key",
+         "metric key \"" + literal +
+             "\" does not match tveg.<subsystem>.<name> (registered "
+             "subsystems: see tools/lint/rules.cpp)"});
+  }
+}
+
+void check_unchecked_result(const std::string& path, const Views& views,
+                            const std::string& raw,
+                            std::vector<Finding>& findings) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(views.tokens);
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+  const auto starts = line_starts(raw);
+  static const std::regex value_call(
+      R"((?:std::move\s*\(\s*([A-Za-z_]\w*)\s*\)|([A-Za-z_]\w*))\s*\.\s*value\s*\(\s*\))");
+  constexpr std::size_t kLookback = 30;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    for (auto it = std::sregex_iterator(lines[li].begin(), lines[li].end(),
+                                        value_call);
+         it != std::sregex_iterator(); ++it) {
+      const std::string recv =
+          (*it)[1].matched ? (*it)[1].str() : (*it)[2].str();
+      const std::regex guard(
+          "(" + recv + R"(\s*\.\s*(ok|has_value)\s*\()" + "|" +
+          R"(!\s*)" + recv + R"(\b)" + "|" +
+          R"((if|while)\s*\(\s*)" + recv + R"(\b)" + "|" +
+          R"((TVEG_ASSERT\w*|TVEG_REQUIRE\w*|assert)\s*\(\s*)" + recv +
+          R"(\b)" + "|" + recv + R"(\s*\?)" + ")");
+      bool guarded = false;
+      const std::size_t lo = li >= kLookback ? li - kLookback : 0;
+      for (std::size_t back = li + 1; back-- > lo && !guarded;) {
+        // the .value() expression itself must not count as its own guard
+        std::string hay = lines[back];
+        if (back == li)
+          hay = hay.substr(0, static_cast<std::size_t>(it->position(0)));
+        guarded = std::regex_search(hay, guard);
+      }
+      const long line = static_cast<long>(li + 1);
+      if (!guarded && !suppressed(raw, starts, line, "unchecked-result"))
+        findings.push_back(
+            {path, line, "unchecked-result",
+             recv + ".value() without a visible ok()/has_value()/!" + recv +
+                 " guard; branch (or take_or_throw) instead of asserting"});
+    }
+  }
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s)
+    out += c == '\'' ? std::string("'\\''") : std::string(1, c);
+  out += '\'';
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "no-unseeded-rng", "no-wall-clock",        "unchecked-result",
+      "metrics-key",     "no-float",             "header-not-self-contained",
+  };
+  return ids;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& text) {
+  std::vector<Finding> findings;
+  const Views views = strip(text);
+  const auto starts = line_starts(text);
+  for (const TokenRule& rule : token_rules()) {
+    if (!rule_applies(rule.id, path)) continue;
+    const std::regex re(rule.pattern, std::regex::multiline);
+    const std::string& hay = rule.view_with_strings ? views.with_strings
+                                                    : views.tokens;
+    for (auto it = std::sregex_iterator(hay.begin(), hay.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      // group-less leading-context alternatives put the token one char in
+      const std::string matched = it->str();
+      std::size_t off = static_cast<std::size_t>(it->position(0));
+      const std::size_t skip = matched.find_first_not_of(" \t(,;=");
+      if (skip != std::string::npos) off += skip;
+      const long line = line_of(starts, off);
+      if (suppressed(text, starts, line, rule.id)) continue;
+      findings.push_back({path, line, rule.id, rule.message});
+    }
+  }
+  check_metrics_keys(path, views, starts, text, findings);
+  check_unchecked_result(path, views, text, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_header_isolation(const std::string& path,
+                                           const Options& options) {
+  std::string cmd = options.compiler + " -std=c++20 -fsyntax-only -x c++";
+  for (const std::string& dir : options.include_dirs)
+    cmd += " -I" + shell_quote(dir);
+  cmd += " " + shell_quote(path) + " 2>&1";
+  std::string output;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr)
+    return {{path, 1, "header-not-self-contained",
+             "could not spawn compiler '" + options.compiler + "'"}};
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = std::fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    output.append(buf.data(), got);
+  const int status = ::pclose(pipe);
+  if (status == 0) return {};
+  std::string first = output.substr(0, output.find('\n'));
+  if (first.size() > 200) first = first.substr(0, 200) + "...";
+  return {{path, 1, "header-not-self-contained",
+           "does not compile in isolation: " + first}};
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const Options& options) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string p = it->path().generic_string();
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    if (in_tools_dir(p)) continue;
+    if (p.find("/build") != std::string::npos) continue;
+    files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  if (ec) {
+    findings.push_back({root, 0, "io-error",
+                        "cannot walk tree: " + ec.message()});
+    return findings;
+  }
+  for (const std::string& file : files) {
+    bool ok = false;
+    const std::string text = read_file(file, ok);
+    if (!ok) {
+      findings.push_back({file, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    auto one = lint_source(file, text);
+    findings.insert(findings.end(), one.begin(), one.end());
+    if (options.check_headers && path_ends_with(file, ".hpp")) {
+      auto iso = lint_header_isolation(file, options);
+      findings.insert(findings.end(), iso.begin(), iso.end());
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace tveg::lint

@@ -1,0 +1,110 @@
+// tveg-lint CLI: domain-invariant checker for the tveg tree.
+//
+//   tveg-lint --root src                       # text rules over a tree
+//   tveg-lint --root src --check-headers --include src --compiler g++
+//                                              # + isolated header compiles
+//   tveg-lint file.cpp [file2.hpp ...]         # explicit files
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O failure — mirroring the
+// CLI's "bad input is exit 2" convention. scripts/lint.sh is the canonical
+// driver; see tools/lint/rules.hpp for the rule table.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: tveg-lint [options] [file ...]\n"
+         "  --root <dir>      lint every .hpp/.cpp under <dir> (repeatable)\n"
+         "  --include <dir>   include dir for --check-headers (repeatable)\n"
+         "  --compiler <cxx>  compiler for --check-headers (default: $CXX "
+         "or c++)\n"
+         "  --check-headers   verify each header compiles in isolation\n"
+         "  --list-rules      print the rule ids and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> files;
+  tveg::lint::Options options;
+  if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
+    options.compiler = cxx;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      roots.emplace_back(v);
+    } else if (arg == "--include") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.include_dirs.emplace_back(v);
+    } else if (arg == "--compiler") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.compiler = v;
+    } else if (arg == "--check-headers") {
+      options.check_headers = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : tveg::lint::rule_ids())
+        std::cout << id << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tveg-lint: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (roots.empty() && files.empty()) return usage();
+
+  std::vector<tveg::lint::Finding> findings;
+  bool io_error = false;
+  for (const std::string& root : roots) {
+    auto tree = tveg::lint::lint_tree(root, options);
+    findings.insert(findings.end(), tree.begin(), tree.end());
+  }
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "tveg-lint: cannot read " << file << "\n";
+      io_error = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto one = tveg::lint::lint_source(file, buf.str());
+    findings.insert(findings.end(), one.begin(), one.end());
+    if (options.check_headers && file.size() > 4 &&
+        file.compare(file.size() - 4, 4, ".hpp") == 0) {
+      auto iso = tveg::lint::lint_header_isolation(file, options);
+      findings.insert(findings.end(), iso.begin(), iso.end());
+    }
+  }
+
+  for (const auto& finding : findings) {
+    if (finding.rule == "io-error") io_error = true;
+    std::cout << tveg::lint::to_string(finding) << "\n";
+  }
+  std::cerr << "tveg-lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}

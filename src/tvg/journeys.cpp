@@ -34,7 +34,7 @@ HopInfo min_hop_journeys(const TimeVaryingGraph& g, NodeId src, Time t0) {
     bool changed = false;
     for (std::size_t e = 0; e < g.edge_count(); ++e) {
       const auto [a, b] = g.edge_nodes(e);
-      for (const auto [u, v] : {std::pair{a, b}, std::pair{b, a}}) {
+      for (const auto& [u, v] : {std::pair{a, b}, std::pair{b, a}}) {
         const auto ui = static_cast<std::size_t>(u);
         const auto vi = static_cast<std::size_t>(v);
         if (prev[ui] == kInf) continue;

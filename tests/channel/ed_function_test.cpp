@@ -189,7 +189,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::pair<const char*, EdFactory>{
             "rician_6",
             [] { return std::make_unique<RicianEdFunction>(6.0, 1.5); }}),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& name_info) { return std::string(name_info.param.first); });
 
 }  // namespace
 }  // namespace tveg::channel

@@ -1,0 +1,9 @@
+// tveg-lint fixture: passes every text rule but fails the isolated-compile
+// check — std::string is used without including <string>.
+#pragma once
+
+namespace tveg::fixture {
+
+inline std::string greeting() { return "hello"; }
+
+}  // namespace tveg::fixture

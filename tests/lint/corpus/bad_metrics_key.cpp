@@ -1,0 +1,11 @@
+// tveg-lint fixture: exactly one metrics-key finding (line 8). Never
+// compiled — only scanned by the lint tests and corpus ctests.
+#include "obs/metrics.hpp"
+
+namespace tveg::fixture {
+
+void bump() {
+  obs::MetricsRegistry::global().counter("fixture.bad.key").add(1);
+}
+
+}  // namespace tveg::fixture

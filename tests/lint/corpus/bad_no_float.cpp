@@ -1,0 +1,13 @@
+// tveg-lint fixture: exactly one no-float finding (line 8). Never
+// compiled — only scanned by the lint tests and corpus ctests.
+#include <cstddef>
+
+namespace tveg::fixture {
+
+double energy_sum(const double* costs, std::size_t n) {
+  float acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += costs[i];
+  return acc;
+}
+
+}  // namespace tveg::fixture

@@ -1,0 +1,11 @@
+// tveg-lint fixture: exactly one no-unseeded-rng finding (line 8). Never
+// compiled — only scanned by the lint tests and corpus ctests.
+#include <cstdlib>
+
+namespace tveg::fixture {
+
+int draw_unseeded() {
+  return std::rand();
+}
+
+}  // namespace tveg::fixture

@@ -1,0 +1,12 @@
+// tveg-lint fixture: exactly one no-wall-clock finding (line 8). Never
+// compiled — only scanned by the lint tests and corpus ctests.
+#include <chrono>
+
+namespace tveg::fixture {
+
+double now_wall_seconds() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace tveg::fixture

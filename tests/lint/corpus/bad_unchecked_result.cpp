@@ -1,0 +1,11 @@
+// tveg-lint fixture: exactly one unchecked-result finding (line 8). Never
+// compiled — only scanned by the lint tests and corpus ctests.
+#include "support/result.hpp"
+
+namespace tveg::fixture {
+
+double take_blindly(const support::Result<double>& parsed) {
+  return parsed.value();
+}
+
+}  // namespace tveg::fixture

@@ -1,0 +1,23 @@
+// tveg-lint fixture: zero findings — the approved idioms for everything the
+// other fixtures do wrong. Never compiled, only scanned.
+#include "obs/metrics.hpp"
+#include "support/result.hpp"
+#include "support/rng.hpp"
+
+namespace tveg::fixture {
+
+// Randomness through the seeded, splittable support::Rng.
+double sample(support::Rng& rng) { return rng.uniform(); }
+
+// Metric keys follow tveg.<subsystem>.<name>.
+void record_run() {
+  obs::MetricsRegistry::global().counter("tveg.sim.fixture_runs").add(1);
+}
+
+// Result access behind an ok() branch; accumulation in double.
+double checked_take(const support::Result<double>& parsed) {
+  if (!parsed.ok()) return 0.0;
+  return parsed.value();
+}
+
+}  // namespace tveg::fixture

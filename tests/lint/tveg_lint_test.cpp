@@ -1,0 +1,147 @@
+// tveg-lint rule tests: each corpus fixture is pinned to its exact rule-id
+// finding (file + line), inline snippets cover the scoping/suppression
+// corners, and the clean fixture + the lint.clean_tree ctest keep the real
+// tree honest.
+#include "tools/lint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tveg::lint {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(TVEG_LINT_CORPUS_DIR) + "/" + name;
+}
+
+std::string read_corpus(const std::string& name) {
+  std::ifstream in(corpus_path(name), std::ios::binary);
+  EXPECT_TRUE(in) << "missing corpus fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct PinnedFixture {
+  const char* file;
+  const char* rule;
+  long line;
+};
+
+TEST(TvegLint, CorpusFixturesPinExactFindings) {
+  const std::vector<PinnedFixture> fixtures = {
+      {"bad_no_unseeded_rng.cpp", "no-unseeded-rng", 8},
+      {"bad_no_wall_clock.cpp", "no-wall-clock", 8},
+      {"bad_unchecked_result.cpp", "unchecked-result", 8},
+      {"bad_metrics_key.cpp", "metrics-key", 8},
+      {"bad_no_float.cpp", "no-float", 8},
+  };
+  for (const auto& fixture : fixtures) {
+    const auto findings =
+        lint_source(fixture.file, read_corpus(fixture.file));
+    ASSERT_EQ(findings.size(), 1u)
+        << fixture.file << ": expected exactly one finding, got "
+        << findings.size();
+    EXPECT_EQ(findings[0].rule, fixture.rule) << fixture.file;
+    EXPECT_EQ(findings[0].line, fixture.line) << fixture.file;
+  }
+}
+
+TEST(TvegLint, CleanFixtureHasNoFindings) {
+  const auto findings = lint_source("clean.cpp", read_corpus("clean.cpp"));
+  for (const auto& finding : findings) ADD_FAILURE() << to_string(finding);
+}
+
+TEST(TvegLint, HeaderIsolationFlagsNonSelfContainedHeader) {
+  Options options;
+  options.compiler = "c++";
+  const auto findings = lint_header_isolation(
+      corpus_path("bad_header_not_self_contained.hpp"), options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-not-self-contained");
+}
+
+TEST(TvegLint, CommentsAndStringsDoNotTrigger) {
+  const std::string text =
+      "// std::rand() and system_clock in a comment\n"
+      "/* float acc; srand(1); */\n"
+      "const char* doc = \"random_device, time( and float\";\n";
+  EXPECT_TRUE(lint_source("doc.cpp", text).empty());
+}
+
+TEST(TvegLint, SuppressionCommentSilencesOneLine) {
+  const std::string bad = "int x = rand();\n";
+  ASSERT_EQ(lint_source("s.cpp", bad).size(), 1u);
+  const std::string ok =
+      "int x = rand();  // tveg-lint: allow(no-unseeded-rng)\n";
+  EXPECT_TRUE(lint_source("s.cpp", ok).empty());
+}
+
+TEST(TvegLint, RngAndDeadlineFilesAreExemptFromTheirRules) {
+  EXPECT_TRUE(
+      lint_source("src/support/rng.cpp", "auto d = std::random_device{};\n")
+          .empty());
+  EXPECT_EQ(
+      lint_source("src/fault/plan.cpp", "auto d = std::random_device{};\n")
+          .size(),
+      1u);
+  EXPECT_TRUE(lint_source("src/support/deadline.hpp",
+                          "auto t = std::chrono::system_clock::now();\n")
+                  .empty());
+}
+
+TEST(TvegLint, SteadyClockIsAllowed) {
+  EXPECT_TRUE(lint_source("src/core/eedcb.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(TvegLint, GuardedResultAccessIsClean) {
+  const std::string guarded =
+      "double f(const support::Result<double>& r) {\n"
+      "  if (!r.ok()) return 0;\n"
+      "  return r.value();\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("g.cpp", guarded).empty());
+  const std::string moved =
+      "double f(support::Result<double> r) {\n"
+      "  if (!r.ok()) return 0;\n"
+      "  return std::move(r).value();\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("m.cpp", moved).empty());
+}
+
+TEST(TvegLint, MetricKeyLiteralsAreValidatedAcrossLineBreaks) {
+  const std::string wrapped =
+      "void f(obs::MetricsRegistry& r) {\n"
+      "  r.counter(\n"
+      "      \"bogus.wrapped.key\").add(1);\n"
+      "}\n";
+  const auto findings = lint_source("w.cpp", wrapped);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metrics-key");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(TvegLint, ConcatenatedMetricKeyPrefixPasses) {
+  const std::string dynamic =
+      "void f(obs::MetricsRegistry& r, const std::string& s) {\n"
+      "  r.counter(\"tveg.pool.worker\" + s).add(1);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("d.cpp", dynamic).empty());
+}
+
+TEST(TvegLint, RuleIdsAreStable) {
+  const std::vector<std::string> expected = {
+      "no-unseeded-rng", "no-wall-clock",        "unchecked-result",
+      "metrics-key",     "no-float",             "header-not-self-contained",
+  };
+  EXPECT_EQ(rule_ids(), expected);
+}
+
+}  // namespace
+}  // namespace tveg::lint

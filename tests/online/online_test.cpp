@@ -138,7 +138,9 @@ TEST(Online, NeverBeatsTheOfflineOptimum) {
         EXPECT_TRUE(core::check_feasibility(inst, r.schedule).feasible)
             << "seed " << seed;
       }
-      if (!opt.feasible) EXPECT_FALSE(r.covered_all) << "seed " << seed;
+      if (!opt.feasible) {
+        EXPECT_FALSE(r.covered_all) << "seed " << seed;
+      }
     }
   }
 }

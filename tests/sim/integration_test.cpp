@@ -27,9 +27,10 @@ void run_full_pipeline(const trace::ContactTrace& trace, NodeId source,
         << label << "/" << algorithm_name(a) << ": " << report.reason;
     const auto delivery = bench.delivery_under_fading(
         source, outcome.schedule, {.trials = 300, .seed = 2});
-    if (fading_resistant(a) && outcome.allocation_feasible)
+    if (fading_resistant(a) && outcome.allocation_feasible) {
       EXPECT_GT(delivery.mean_delivery_ratio, 0.85)
           << label << "/" << algorithm_name(a);
+    }
   }
 }
 

@@ -1,0 +1,173 @@
+// Contention-provoking stress tests for ThreadPool, written to run under
+// TSan (scripts/ci.sh tsan stage): they deliberately overlap submit,
+// parallel_for and shutdown from many threads so the sanitizer can see the
+// synchronization edges the unit tests never exercise.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tveg::support {
+namespace {
+
+TEST(ThreadPoolStress, ManyProducersManyConsumers) {
+  // N producer threads × M pool workers; every submitted task must run
+  // exactly once and every future must resolve.
+  ThreadPool pool(4);
+  static constexpr std::size_t kProducers = 8;
+  static constexpr std::size_t kTasksPerProducer = 100;
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::vector<std::future<std::size_t>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kTasksPerProducer);
+      for (std::size_t i = 0; i < kTasksPerProducer; ++i)
+        futures[p].push_back(pool.submit([&executed, p, i] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return p * kTasksPerProducer + i;
+        }));
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < kTasksPerProducer; ++i)
+      EXPECT_EQ(futures[p][i].get(), p * kTasksPerProducer + i);
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, SubmitRacingShutdownEitherRunsOrThrows) {
+  // Producers hammer submit while the owner shuts the pool down. Each
+  // submit must either win (task runs, future resolves) or lose with a
+  // synchronous std::runtime_error — never a wedged future.
+  ThreadPool pool(3);
+  static constexpr std::size_t kProducers = 4;
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      std::vector<std::future<int>> mine;
+      for (;;) {
+        try {
+          mine.push_back(pool.submit([&executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            return 1;
+          }));
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      for (auto& f : mine) EXPECT_EQ(f.get(), 1);  // none may wedge
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.shutdown();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);  // every producer saw the stop
+  EXPECT_EQ(executed.load(), accepted.load());  // accepted ⇒ ran
+}
+
+TEST(ThreadPoolStress, ShutdownIsIdempotentAndSubmitAfterThrows) {
+  ThreadPool pool(2);
+  auto before = pool.submit([] { return 11; });
+  EXPECT_EQ(before.get(), 11);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_THROW(pool.submit([] { return 0; }), std::runtime_error);
+  EXPECT_GE(pool.thread_count(), 2u);  // construction-time count survives
+}
+
+TEST(ThreadPoolStress, ParallelForAfterShutdownDegradesToInline) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  std::size_t count = 0;  // plain: the inline path is single-threaded
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(ThreadPoolStress, ExceptionsUnderContention) {
+  // Half the tasks throw while all producers race; every future must carry
+  // either its value or its exception, and the pool must stay usable.
+  ThreadPool pool(4);
+  static constexpr std::size_t kProducers = 4;
+  static constexpr std::size_t kTasksPerProducer = 50;
+  std::vector<std::vector<std::future<std::size_t>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kTasksPerProducer; ++i)
+        futures[p].push_back(pool.submit([i]() -> std::size_t {
+          if (i % 2 == 1) throw std::invalid_argument("odd task");
+          return i;
+        }));
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < kTasksPerProducer; ++i) {
+      if (i % 2 == 1) {
+        EXPECT_THROW(futures[p][i].get(), std::invalid_argument);
+      } else {
+        EXPECT_EQ(futures[p][i].get(), i);
+      }
+    }
+  std::atomic<int> alive{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { alive.fetch_add(1); });
+  EXPECT_EQ(alive.load(), 64);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  // Several threads drive parallel_for on one pool simultaneously, many
+  // rounds each — this hammers the completion signalling whose
+  // use-after-free race the done_mutex-guarded decrement fixes.
+  ThreadPool pool(4);
+  static constexpr std::size_t kCallers = 3;
+  static constexpr std::size_t kRounds = 40;
+  static constexpr std::size_t kRange = 64;
+  std::vector<std::atomic<std::size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (std::size_t round = 0; round < kRounds; ++round)
+        pool.parallel_for(0, kRange, [&sums, c](std::size_t i) {
+          sums[c].fetch_add(i, std::memory_order_relaxed);
+        });
+    });
+  }
+  for (auto& t : callers) t.join();
+  static constexpr std::size_t kRangeSum = kRange * (kRange - 1) / 2;
+  for (std::size_t c = 0; c < kCallers; ++c)
+    EXPECT_EQ(sums[c].load(), kRounds * kRangeSum);
+}
+
+TEST(ThreadPoolStress, ThrowingParallelForBesideLiveSubmits) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i; }));
+  EXPECT_THROW(pool.parallel_for(0, 256,
+                                 [](std::size_t i) {
+                                   if (i == 129)
+                                     throw std::runtime_error("chunk boom");
+                                 }),
+               std::runtime_error);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+}  // namespace
+}  // namespace tveg::support

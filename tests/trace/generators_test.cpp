@@ -146,8 +146,9 @@ TEST(DutyCycle, StaticDistancesPerPair) {
     for (std::size_t j = i + 1; j < t.contact_count(); ++j) {
       const auto& a = t.contacts()[i];
       const auto& b = t.contacts()[j];
-      if (a.a == b.a && a.b == b.b)
+      if (a.a == b.a && a.b == b.b) {
         EXPECT_DOUBLE_EQ(a.distance, b.distance);
+      }
     }
 }
 

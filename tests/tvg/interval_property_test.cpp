@@ -65,7 +65,9 @@ TEST_P(IntervalAlgebraProperty, NormalizationInvariants) {
   const auto& ivs = a.intervals();
   for (std::size_t i = 0; i < ivs.size(); ++i) {
     EXPECT_LT(ivs[i].start, ivs[i].end);
-    if (i > 0) EXPECT_GT(ivs[i].start, ivs[i - 1].end);  // disjoint, sorted
+    if (i > 0) {
+      EXPECT_GT(ivs[i].start, ivs[i - 1].end);  // disjoint, sorted
+    }
   }
 }
 
