@@ -152,6 +152,19 @@ class Report {
     series_.push_back(std::move(series));
   }
 
+  /// Records one measured timing (a google-benchmark run or a manually
+  /// timed section). These are what scripts/bench_gate.sh compares against
+  /// the committed baselines, so names must be stable across runs.
+  void add_timing(const std::string& name, double real_ms, double cpu_ms,
+                  std::int64_t iterations) {
+    obs::Json t = obs::Json::object();
+    t.set("name", obs::Json(name));
+    t.set("real_ms", obs::Json(real_ms));
+    t.set("cpu_ms", obs::Json(cpu_ms));
+    t.set("iterations", obs::Json(static_cast<double>(iterations)));
+    timings_.push_back(std::move(t));
+  }
+
   /// Writes BENCH_<name>.json in the working directory.
   void write_json() const {
     obs::Json doc = obs::Json::object();
@@ -161,6 +174,9 @@ class Report {
     obs::Json series = obs::Json::array();
     for (const auto& s : series_) series.push_back(s);
     doc.set("series", std::move(series));
+    obs::Json timings = obs::Json::array();
+    for (const auto& t : timings_) timings.push_back(t);
+    doc.set("timings", std::move(timings));
     doc.set("obs", obs::snapshot());
 
     const std::string path = "BENCH_" + name_ + ".json";
@@ -174,6 +190,7 @@ class Report {
   std::string name_;
   obs::Json config_ = obs::Json::object();
   std::vector<obs::Json> series_;
+  std::vector<obs::Json> timings_;
 };
 
 }  // namespace tveg::bench

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.hpp"
+#include "bench/timing.hpp"
 #include "tvg/dts.hpp"
 
 using namespace tveg;
@@ -70,15 +71,9 @@ BENCHMARK(BM_EarliestArrival)->Arg(10)->Arg(20)->Arg(40);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): the obs snapshot is taken and
-// the BENCH report written only after the timing loops finish, so the
-// reporting itself never shows up in the measurements.
+// Shared microbench main: timings are mirrored into BENCH_micro_dts.json
+// for scripts/bench_gate.sh, and the report is written only after the timing
+// loops finish.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  tveg::bench::Report report("micro_dts");
-  report.write_json();
-  return 0;
+  return tveg::bench::run_microbench(argc, argv, "micro_dts");
 }

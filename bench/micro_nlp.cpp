@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "bench/common.hpp"
+#include "bench/timing.hpp"
 #include "core/energy_allocation.hpp"
 #include "core/fr.hpp"
 
@@ -79,15 +80,9 @@ BENCHMARK(BM_EndToEndFrEedcb)->Arg(10)->Arg(20);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): the obs snapshot is taken and
-// the BENCH report written only after the timing loops finish, so the
-// reporting itself never shows up in the measurements.
+// Shared microbench main: timings are mirrored into BENCH_micro_nlp.json
+// for scripts/bench_gate.sh, and the report is written only after the timing
+// loops finish.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  tveg::bench::Report report("micro_nlp");
-  report.write_json();
-  return 0;
+  return tveg::bench::run_microbench(argc, argv, "micro_nlp");
 }

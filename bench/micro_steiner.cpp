@@ -4,10 +4,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
+#include "bench/timing.hpp"
 #include "core/aux_graph.hpp"
+#include "core/ed_weight_cache.hpp"
+#include "core/eedcb.hpp"
+#include "core/solve_many.hpp"
 #include "graph/steiner.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace tveg;
 
@@ -94,17 +100,100 @@ void BM_AuxGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AuxGraphBuild)->Arg(10)->Arg(20)->Arg(30);
 
+// ---------------------------------------------------------------------------
+// Full-pipeline benchmarks for the parallel solve path (DESIGN.md "Parallel
+// solve & caching"): serial memo-free oracle vs EdWeightCache + 8-thread
+// pool, and per-request loops vs solve_many batching. Rician channels make
+// every min-cost evaluation a bisection over Marcum-Q tail sums — the
+// workload the cache exists for. scripts/bench_gate.sh asserts the cached +
+// pooled pipeline is >= 2x the serial baseline on the largest scenario here.
+
+support::ThreadPool& bench_pool() {
+  static support::ThreadPool pool(8);
+  return pool;
+}
+
+core::Tveg pipeline_tveg(NodeId nodes) {
+  trace::HaggleLikeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.horizon = 17000;
+  cfg.pair_probability = 0.5;
+  cfg.activation_ramp_end = 500;
+  cfg.seed = 1;
+  return core::Tveg(
+      trace::generate_haggle_like(cfg), sim::paper_radio(),
+      core::Tveg::Options{.model = channel::ChannelModel::kRician});
+}
+
+void BM_EedcbPipelineSerial(benchmark::State& state) {
+  const core::Tveg tveg = pipeline_tveg(static_cast<NodeId>(state.range(0)));
+  const core::TmedbInstance inst{&tveg, 0, 6000.0};
+  for (auto _ : state) {
+    const auto r = core::run_eedcb(inst, core::EedcbOptions{});
+    benchmark::DoNotOptimize(r.schedule.total_cost());
+  }
+}
+BENCHMARK(BM_EedcbPipelineSerial)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_EedcbPipelineCachedPool(benchmark::State& state) {
+  core::Tveg tveg = pipeline_tveg(static_cast<NodeId>(state.range(0)));
+  tveg.attach_cache(std::make_shared<core::EdWeightCache>());
+  const core::TmedbInstance inst{&tveg, 0, 6000.0};
+  core::EedcbOptions options;
+  options.pool = &bench_pool();
+  for (auto _ : state) {
+    const auto r = core::run_eedcb(inst, options);
+    benchmark::DoNotOptimize(r.schedule.total_cost());
+  }
+}
+BENCHMARK(BM_EedcbPipelineCachedPool)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+std::vector<core::SolveRequest> sweep_requests(NodeId nodes) {
+  std::vector<core::SolveRequest> requests;
+  for (NodeId s : bench::source_panel(nodes))
+    requests.push_back({.source = s, .deadline = 6000.0});
+  return requests;
+}
+
+void BM_SweepPerRequestLoop(benchmark::State& state) {
+  core::Tveg tveg = pipeline_tveg(static_cast<NodeId>(state.range(0)));
+  tveg.attach_cache(std::make_shared<core::EdWeightCache>());
+  const auto requests = sweep_requests(static_cast<NodeId>(state.range(0)));
+  core::EedcbOptions options;
+  options.pool = &bench_pool();
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& req : requests)
+      total += core::run_eedcb(core::to_instance(tveg, req), options)
+                   .schedule.total_cost();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SweepPerRequestLoop)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_SweepSolveManyBatch(benchmark::State& state) {
+  core::Tveg tveg = pipeline_tveg(static_cast<NodeId>(state.range(0)));
+  tveg.attach_cache(std::make_shared<core::EdWeightCache>());
+  const auto requests = sweep_requests(static_cast<NodeId>(state.range(0)));
+  core::EedcbOptions options;
+  options.pool = &bench_pool();
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& r : core::solve_many(tveg, requests, options))
+      total += r.schedule.total_cost();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SweepSolveManyBatch)->Arg(20)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): the obs snapshot is taken and
-// the BENCH report written only after the timing loops finish, so the
-// reporting itself never shows up in the measurements.
+// Shared microbench main: timings are mirrored into BENCH_micro_steiner.json
+// for scripts/bench_gate.sh, and the report is written only after the timing
+// loops finish.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  tveg::bench::Report report("micro_steiner");
-  report.write_json();
-  return 0;
+  return tveg::bench::run_microbench(argc, argv, "micro_steiner");
 }

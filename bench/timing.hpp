@@ -1,0 +1,68 @@
+// Timing capture for the google-benchmark microbenches: a ConsoleReporter
+// that mirrors every run into the bench Report, so BENCH_<name>.json carries
+// machine-readable per-benchmark wall/cpu times. scripts/bench_gate.sh
+// diffs those against the committed baselines and fails the build on
+// regressions — which only works if benchmark *names* stay stable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace tveg::bench {
+
+/// Console output as usual, plus a record of each per-iteration timing.
+class TimingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Timing {
+    std::string name;
+    double real_ms = 0;
+    double cpu_ms = 0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations == 0) continue;
+      Timing t;
+      t.name = run.benchmark_name();
+      const double iters = static_cast<double>(run.iterations);
+      t.real_ms = 1e3 * run.real_accumulated_time / iters;
+      t.cpu_ms = 1e3 * run.cpu_accumulated_time / iters;
+      t.iterations = static_cast<std::int64_t>(run.iterations);
+      timings_.push_back(std::move(t));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Copies the captured timings into the JSON report.
+  void attach_to(Report& report) const {
+    for (const Timing& t : timings_)
+      report.add_timing(t.name, t.real_ms, t.cpu_ms, t.iterations);
+  }
+
+ private:
+  std::vector<Timing> timings_;
+};
+
+/// Shared main body for the microbenches: run everything through a
+/// TimingReporter, then write BENCH_<name>.json — after the timed work, so
+/// reporting never perturbs the measurements.
+inline int run_microbench(int argc, char** argv, const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TimingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  Report report(name);
+  reporter.attach_to(report);
+  report.write_json();
+  return 0;
+}
+
+}  // namespace tveg::bench

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Bench regression gate: runs the gated benches (micro_dts, micro_steiner,
+# online_vs_offline), compares their BENCH_*.json timings against the
+# committed baselines in bench/baselines/, and fails on
+#   * any benchmark whose wall time regressed more than the tolerance
+#     (default 15%, override with TVEG_BENCH_TOLERANCE=0.25), or
+#   * the parallel-pipeline acceptance bar: BM_EedcbPipelineCachedPool must
+#     be >= 2x faster than BM_EedcbPipelineSerial on the largest scenario.
+#
+# Usage: scripts/bench_gate.sh [--update] [--skip-run]
+#   --update    rewrite the committed baselines from this run's results
+#   --skip-run  compare the JSONs already present in the work dir (debug aid)
+#
+# Baselines are machine-dependent; after moving CI hardware, re-run with
+# --update and commit the refreshed bench/baselines/.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+BASELINE_DIR="${REPO_ROOT}/bench/baselines"
+WORK_DIR="${BUILD_DIR}/bench-gate"
+TOLERANCE="${TVEG_BENCH_TOLERANCE:-0.15}"
+BENCHES=(micro_dts micro_steiner online_vs_offline)
+
+UPDATE=0
+SKIP_RUN=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    --skip-run) SKIP_RUN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${SKIP_RUN}" -eq 0 ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+  cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
+        --target "${BENCHES[@]}" >/dev/null
+  mkdir -p "${WORK_DIR}"
+  for bench in "${BENCHES[@]}"; do
+    echo "==== [bench_gate] running ${bench} ===="
+    (cd "${WORK_DIR}" && "${BUILD_DIR}/bench/${bench}" > "${bench}.log" 2>&1) \
+      || { echo "${bench} failed; see ${WORK_DIR}/${bench}.log"; exit 1; }
+  done
+fi
+
+if [[ "${UPDATE}" -eq 1 ]]; then
+  mkdir -p "${BASELINE_DIR}"
+  for bench in "${BENCHES[@]}"; do
+    cp "${WORK_DIR}/BENCH_${bench}.json" "${BASELINE_DIR}/"
+  done
+  echo "baselines updated in ${BASELINE_DIR}; review and commit them"
+  exit 0
+fi
+
+python3 - "$BASELINE_DIR" "$WORK_DIR" "$TOLERANCE" "${BENCHES[@]}" <<'PYEOF'
+import json
+import sys
+
+baseline_dir, work_dir, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+benches = sys.argv[4:]
+
+def load_timings(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {t["name"]: t["real_ms"] for t in doc.get("timings", [])}
+
+failures = []
+rows = []
+pipeline = {}
+
+for bench in benches:
+    try:
+        base = load_timings(f"{baseline_dir}/BENCH_{bench}.json")
+    except FileNotFoundError:
+        failures.append(
+            f"{bench}: no committed baseline — run scripts/bench_gate.sh "
+            "--update and commit bench/baselines/")
+        continue
+    cur = load_timings(f"{work_dir}/BENCH_{bench}.json")
+    for name in sorted(base):
+        if name not in cur:
+            failures.append(f"{bench}: benchmark '{name}' disappeared")
+            continue
+        old, new = base[name], cur[name]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1 + tolerance:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{bench}: {name} regressed {ratio:.2f}x "
+                f"({old:.2f} ms -> {new:.2f} ms, tolerance {tolerance:.0%})")
+        elif ratio < 1 / (1 + tolerance):
+            verdict = "improved"
+        rows.append((bench, name, old, new, ratio, verdict))
+        if name.startswith("BM_EedcbPipeline"):
+            kind, _, arg = name.partition("/")
+            pipeline.setdefault(int(arg), {})[kind] = new
+    for name in sorted(set(cur) - set(base)):
+        rows.append((bench, name, float("nan"), cur[name], float("nan"),
+                     "new (no baseline)"))
+
+print(f"{'bench':<18} {'benchmark':<34} {'base ms':>10} {'now ms':>10} "
+      f"{'ratio':>7}  verdict")
+for bench, name, old, new, ratio, verdict in rows:
+    old_s = f"{old:10.2f}" if old == old else "         -"
+    ratio_s = f"{ratio:7.2f}" if ratio == ratio else "      -"
+    print(f"{bench:<18} {name:<34} {old_s} {new:10.2f} {ratio_s}  {verdict}")
+
+# Acceptance bar: cached + pooled pipeline >= 2x serial on the largest
+# scenario present in BENCH_micro_steiner.json.
+if pipeline:
+    largest = max(pipeline)
+    pair = pipeline[largest]
+    serial = pair.get("BM_EedcbPipelineSerial")
+    pooled = pair.get("BM_EedcbPipelineCachedPool")
+    if serial is None or pooled is None:
+        failures.append("micro_steiner: pipeline serial/cached pair missing")
+    else:
+        speedup = serial / pooled
+        print(f"\nparallel pipeline speedup at N={largest}: {speedup:.2f}x "
+              f"(serial {serial:.1f} ms / cached+pool {pooled:.1f} ms)")
+        if speedup < 2.0:
+            failures.append(
+                f"pipeline speedup {speedup:.2f}x < 2x at N={largest}")
+else:
+    failures.append("micro_steiner: no BM_EedcbPipeline* timings found")
+
+if failures:
+    print("\nbench gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("\nbench gate passed")
+PYEOF

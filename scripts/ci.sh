@@ -10,14 +10,22 @@
 #   tsan   suite under ThreadSanitizer — the ThreadPool / Monte-Carlo /
 #          parallel-solve stress tests provoke the contention TSan needs
 #
-# Usage: scripts/ci.sh [--fast]
+# Usage: scripts/ci.sh [--fast] [--bench]
 #   --fast   plain build + ctest only (skips lint and all sanitizer tiers)
+#   --bench  additionally run scripts/bench_gate.sh (bench regression gate)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+BENCH=0
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 GENERATOR=()
 command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
@@ -67,6 +75,11 @@ if [[ "${FAST}" -eq 0 ]]; then
   drive_corpus "${REPO_ROOT}/build-asan"
   run_suite "ubsan" "${REPO_ROOT}/build-ubsan" -DTVEG_SANITIZE=undefined
   run_suite "tsan" "${REPO_ROOT}/build-tsan" -DTVEG_SANITIZE=thread
+fi
+
+if [[ "${BENCH}" -eq 1 ]]; then
+  echo "==== [bench] scripts/bench_gate.sh ===="
+  BUILD_DIR="${REPO_ROOT}/build-ci" "${REPO_ROOT}/scripts/bench_gate.sh"
 fi
 
 echo "==== CI green ===="

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the golden-schedule fixtures under tests/golden/fixtures/.
+#
+# Run this ONLY after an intentional change to schedule output, review the
+# fixture diff, and commit the new fixtures together with the change that
+# moved them. A drifting fixture you did not expect is a bug, not a reason
+# to regenerate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_tests -j >/dev/null
+
+TVEG_REGEN_GOLDEN=1 "$BUILD_DIR/tests/golden_tests"
+echo "Regenerated fixtures:"
+git -c color.status=always status --short tests/golden/fixtures/ || true

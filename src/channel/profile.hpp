@@ -29,6 +29,11 @@ class PiecewiseConstantProfile {
   /// Value at time t.
   double at(Time t) const;
 
+  /// Index of the sample whose value `at(t)` returns (0 for queries before
+  /// the first sample). Two times with equal segment index see the same
+  /// value — the memoization key of core::EdWeightCache.
+  std::size_t segment(Time t) const;
+
   /// All sample times after the first (the points where the value may
   /// change) — these are the partition breakpoints.
   std::vector<Time> breakpoints() const;

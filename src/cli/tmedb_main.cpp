@@ -6,6 +6,7 @@
 //
 // `run` prints the schedule, its feasibility verdict, normalized energy and
 // (for fading evaluation) the Monte-Carlo delivery ratio.
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <initializer_list>
@@ -114,10 +115,11 @@ const Args::Spec& spec_for(const std::string& cmd) {
       {"stats", {{}, {}}},
       {"run",
        {{"algorithm", "source", "deadline", "seed", "trials", "steiner",
-         "level", "save-schedule", "metrics-out", "faults",
+         "level", "threads", "save-schedule", "metrics-out", "faults",
          "solver-budget-ms", "fault-log"},
-        {"trace"}}},
-      {"sweep", {{"source", "from", "to", "step", "seed"}, {}}},
+        {"trace", "no-cache"}}},
+      {"sweep", {{"source", "from", "to", "step", "seed", "threads"},
+                 {"no-cache"}}},
       {"evaluate",
        {{"source", "deadline", "trials", "seed", "reliability", "interference"},
         {}}},
@@ -125,6 +127,17 @@ const Args::Spec& spec_for(const std::string& cmd) {
   static const Args::Spec empty;
   auto it = specs.find(cmd);
   return it == specs.end() ? empty : it->second;
+}
+
+/// --threads: a small non-negative integer (0 = serial). Validated here so
+/// a stray negative value fails as a usage error, not deep inside the
+/// thread-pool constructor.
+std::size_t parse_threads(const Args& args) {
+  const double n = args.get_num("threads", 0);
+  if (n < 0 || n > 256 || n != std::floor(n))
+    throw UsageError("--threads expects an integer in [0, 256], got " +
+                     args.get("threads", "?"));
+  return static_cast<std::size_t>(n);
 }
 
 /// Seeds the pipeline phases so exported phase_totals carry the same keys
@@ -156,11 +169,13 @@ int usage() {
       "  tmedb run TRACE [--algorithm EEDCB|GREED|RAND|FR-EEDCB|FR-GREED|FR-RAND]\n"
       "                  [--source ID] [--deadline T] [--seed S] [--trials K]\n"
       "                  [--steiner spt|greedy] [--level L]\n"
+      "                  [--threads N] [--no-cache]\n"
       "                  [--save-schedule FILE]\n"
       "                  [--faults PLAN] [--solver-budget-ms N]\n"
       "                  [--fault-log FILE]\n"
       "                  [--metrics-out FILE] [--trace]\n"
       "  tmedb sweep TRACE [--source ID] [--from T0] [--to T1] [--step DT]\n"
+      "                  [--threads N] [--no-cache]\n"
       "  tmedb evaluate TRACE SCHEDULE [--source ID] [--deadline T]\n"
       "                  [--trials K] [--reliability Q] [--interference 1]\n"
       "\n"
@@ -172,7 +187,10 @@ int usage() {
       "tx_failure); the schedule is repaired against the faulted reality\n"
       "and delivery is measured there. --solver-budget-ms bounds the solve\n"
       "wall-clock (EEDCB degrades to BIP, then GREED). --fault-log dumps\n"
-      "the injected events for audit/replay.\n";
+      "the injected events for audit/replay.\n"
+      "--threads N runs the pipeline's parallel phases on N workers and\n"
+      "--no-cache disables ED-function memoization; both leave every\n"
+      "schedule byte-identical to the serial uncached solve.\n";
   return 2;
 }
 
@@ -285,7 +303,10 @@ int cmd_sweep(const Args& args) {
   const Time step = args.get_num("step", 500);
   const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
 
-  const sim::Workbench bench(trace, sim::paper_radio());
+  sim::Workbench::Options bench_options;
+  bench_options.threads = parse_threads(args);
+  bench_options.use_cache = !args.has("no-cache");
+  const sim::Workbench bench(trace, sim::paper_radio(), bench_options);
   support::Table table({"deadline_s", "EEDCB", "GREED", "RAND", "FR-EEDCB",
                         "FR-GREED", "FR-RAND"});
   for (Time deadline = from; deadline <= to + 1e-9; deadline += step) {
@@ -344,6 +365,8 @@ int cmd_run(const Args& args) {
     bench_options.steiner_level =
         static_cast<int>(args.get_num("level", 2));
   }
+  bench_options.threads = parse_threads(args);
+  bench_options.use_cache = !args.has("no-cache");
   const sim::Workbench bench(trace, sim::paper_radio(), bench_options);
 
   // Solve — under the fallback ladder when a budget was given for an

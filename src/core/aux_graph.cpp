@@ -41,59 +41,83 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
       g_.add_arc(vertex_[i][l], vertex_[i][l + 1], 0.0);
   }
 
-  source_ = vertex_[static_cast<std::size_t>(instance.source)].front();
-  TVEG_ASSERT_MSG(
-      points_[static_cast<std::size_t>(instance.source)].front() <= kTimeTol,
-      "source DTS must start at time 0");
+  source_ = source_vertex_for(instance.source);
+  terminals_ = terminals_for(instance);
 
-  for (NodeId t : instance.effective_targets())
-    terminals_.push_back(vertex_[static_cast<std::size_t>(t)].back());
-
-  // Transmission structure.
+  // Transmission structure. The discrete cost sets (the expensive part: one
+  // ED-function materialization plus min-cost query per neighbor) are
+  // precomputed into indexed slots — optionally on the pool — and the graph
+  // itself is built in a second, serial pass, so vertex ids (hence extracted
+  // schedules) are identical whether or not a pool is supplied.
+  struct Slot {
+    std::size_t i;
+    std::size_t l;
+    Time t;
+  };
+  std::vector<Slot> slots;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t l = 0; l < points_[i].size(); ++l) {
       const Time t = points_[i][l];
       if (t + tau > instance.deadline + kTimeTol) break;
-      const std::vector<DcsEntry> dcs =
-          tveg.discrete_cost_set(static_cast<NodeId>(i), t);
-      if (dcs.empty()) continue;
+      slots.push_back({i, l, t});
+    }
+  }
+  std::vector<std::vector<DcsEntry>> dcs_by_slot(slots.size());
+  const auto fill = [&](std::size_t s) {
+    dcs_by_slot[s] =
+        tveg.discrete_cost_set(static_cast<NodeId>(slots[s].i), slots[s].t);
+  };
+  if (options.pool != nullptr && slots.size() > 1) {
+    options.pool->parallel_for(0, slots.size(), fill);
+    static obs::Counter& par_tasks =
+        obs::MetricsRegistry::global().counter("tveg.parallel.aux_dcs_tasks");
+    par_tasks.add(slots.size());
+  } else {
+    for (std::size_t s = 0; s < slots.size(); ++s) fill(s);
+  }
 
-      // Receiver vertex for neighbor j: first clipped point >= t + τ.
-      auto receiver_vertex = [&](NodeId j) -> graph::VertexId {
-        const auto& jp = points_[static_cast<std::size_t>(j)];
-        auto it = std::lower_bound(jp.begin(), jp.end(), t + tau - kTimeTol);
-        if (it == jp.end()) return graph::kNoVertex;
-        const auto f = static_cast<std::size_t>(it - jp.begin());
-        return vertex_[static_cast<std::size_t>(j)][f];
-      };
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const std::size_t i = slots[s].i;
+    const std::size_t l = slots[s].l;
+    const Time t = slots[s].t;
+    const std::vector<DcsEntry>& dcs = dcs_by_slot[s];
+    if (dcs.empty()) continue;
 
-      if (options.power_expansion) {
-        // One power vertex per DCS level; level k reaches levels 0..k.
-        for (std::size_t k = 0; k < dcs.size(); ++k) {
-          bool any_receiver = false;
-          const graph::VertexId x = g_.add_vertex();
-          for (std::size_t m = 0; m <= k; ++m) {
-            const graph::VertexId rv = receiver_vertex(dcs[m].neighbor);
-            if (rv == graph::kNoVertex) continue;
-            g_.add_arc(x, rv, 0.0);
-            any_receiver = true;
-          }
-          if (!any_receiver) continue;  // x stays isolated, harmless
-          g_.add_arc(vertex_[i][l], x, dcs[k].cost);
-          power_info_.emplace(
-              x, PowerInfo{static_cast<NodeId>(i), t, dcs[k].cost});
-        }
-      } else {
-        // Ablation: per-receiver singleton "levels" — no broadcast advantage.
-        for (const DcsEntry& entry : dcs) {
-          const graph::VertexId rv = receiver_vertex(entry.neighbor);
+    // Receiver vertex for neighbor j: first clipped point >= t + τ.
+    auto receiver_vertex = [&](NodeId j) -> graph::VertexId {
+      const auto& jp = points_[static_cast<std::size_t>(j)];
+      auto it = std::lower_bound(jp.begin(), jp.end(), t + tau - kTimeTol);
+      if (it == jp.end()) return graph::kNoVertex;
+      const auto f = static_cast<std::size_t>(it - jp.begin());
+      return vertex_[static_cast<std::size_t>(j)][f];
+    };
+
+    if (options.power_expansion) {
+      // One power vertex per DCS level; level k reaches levels 0..k.
+      for (std::size_t k = 0; k < dcs.size(); ++k) {
+        bool any_receiver = false;
+        const graph::VertexId x = g_.add_vertex();
+        for (std::size_t m = 0; m <= k; ++m) {
+          const graph::VertexId rv = receiver_vertex(dcs[m].neighbor);
           if (rv == graph::kNoVertex) continue;
-          const graph::VertexId x = g_.add_vertex();
-          g_.add_arc(vertex_[i][l], x, entry.cost);
           g_.add_arc(x, rv, 0.0);
-          power_info_.emplace(
-              x, PowerInfo{static_cast<NodeId>(i), t, entry.cost});
+          any_receiver = true;
         }
+        if (!any_receiver) continue;  // x stays isolated, harmless
+        g_.add_arc(vertex_[i][l], x, dcs[k].cost);
+        power_info_.emplace(x,
+                            PowerInfo{static_cast<NodeId>(i), t, dcs[k].cost});
+      }
+    } else {
+      // Ablation: per-receiver singleton "levels" — no broadcast advantage.
+      for (const DcsEntry& entry : dcs) {
+        const graph::VertexId rv = receiver_vertex(entry.neighbor);
+        if (rv == graph::kNoVertex) continue;
+        const graph::VertexId x = g_.add_vertex();
+        g_.add_arc(vertex_[i][l], x, entry.cost);
+        g_.add_arc(x, rv, 0.0);
+        power_info_.emplace(x,
+                            PowerInfo{static_cast<NodeId>(i), t, entry.cost});
       }
     }
   }
@@ -108,6 +132,24 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
   power_vertices.add(power_info_.size());
   vertices.set(static_cast<double>(vertex_count()));
   arcs.set(static_cast<double>(arc_count()));
+}
+
+graph::VertexId AuxGraph::source_vertex_for(NodeId s) const {
+  const auto& ps = points_.at(static_cast<std::size_t>(s));
+  TVEG_REQUIRE(!ps.empty() && ps.front() <= kTimeTol,
+               "source DTS must start at time 0");
+  return vertex_[static_cast<std::size_t>(s)].front();
+}
+
+std::vector<graph::VertexId> AuxGraph::terminals_for(
+    const TmedbInstance& instance) const {
+  TVEG_REQUIRE(
+      static_cast<std::size_t>(instance.tveg->node_count()) == points_.size(),
+      "instance does not match this auxiliary graph");
+  std::vector<graph::VertexId> out;
+  for (NodeId t : instance.effective_targets())
+    out.push_back(vertex_[static_cast<std::size_t>(t)].back());
+  return out;
 }
 
 graph::VertexId AuxGraph::node_vertex(NodeId i, std::size_t l) const {

@@ -23,6 +23,7 @@
 #include "core/tveg.hpp"
 #include "graph/digraph.hpp"
 #include "graph/steiner.hpp"
+#include "support/thread_pool.hpp"
 #include "tvg/dts.hpp"
 
 namespace tveg::core {
@@ -37,6 +38,11 @@ class AuxGraph {
     /// collapse into one per-edge weighted arc, losing the broadcast
     /// advantage.
     bool power_expansion = true;
+    /// Optional worker pool for the discrete-cost-set precompute (the
+    /// expensive phase: one ED-function materialization per neighbor).
+    /// Vertex ids are assigned in a serial pass either way, so parallel and
+    /// serial builds produce byte-identical graphs. nullptr = serial.
+    support::ThreadPool* pool = nullptr;
   };
 
   /// Builds the auxiliary graph for `instance` over `dts`.
@@ -52,6 +58,16 @@ class AuxGraph {
     return static_cast<std::size_t>(g_.vertex_count());
   }
   std::size_t arc_count() const { return g_.arc_count(); }
+
+  /// Source vertex u_{s,0} for an alternative source node. The transmission
+  /// structure is source-independent, so one AuxGraph built at a deadline
+  /// serves every source/target combination at that deadline — the batching
+  /// lever of solve_many(). Requires s's first DTS point to be time 0.
+  graph::VertexId source_vertex_for(NodeId s) const;
+  /// Terminal vertices for an alternative instance sharing this graph's
+  /// TVEG and deadline.
+  std::vector<graph::VertexId> terminals_for(
+      const TmedbInstance& instance) const;
 
   /// Vertex u_{i,l}; l indexes the node's clipped DTS points.
   graph::VertexId node_vertex(NodeId i, std::size_t l) const;

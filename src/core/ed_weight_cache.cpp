@@ -1,0 +1,84 @@
+#include "core/ed_weight_cache.hpp"
+
+#include "core/tveg.hpp"
+#include "obs/metrics.hpp"
+#include "support/assert.hpp"
+
+namespace tveg::core {
+
+EdWeightCache::EdWeightCache(Options options) : options_(options) {
+  static obs::Counter& builds =
+      obs::MetricsRegistry::global().counter("tveg.cache.builds");
+  builds.add(1);
+}
+
+EdWeightCache::~EdWeightCache() {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& hits = registry.counter("tveg.cache.hits");
+  static obs::Counter& misses = registry.counter("tveg.cache.misses");
+  static obs::Counter& evictions = registry.counter("tveg.cache.evictions");
+  hits.add(hits_.load(std::memory_order_relaxed));
+  misses.add(misses_.load(std::memory_order_relaxed));
+  evictions.add(evictions_.load(std::memory_order_relaxed));
+}
+
+const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
+                                                 std::size_t e,
+                                                 Time t) const {
+  const std::size_t segment = tveg.distance_segment(e, t);
+  TVEG_ASSERT(segment < (std::uint64_t{1} << 32));
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(e) << 32) | static_cast<std::uint64_t>(segment);
+  Shard& shard = shards_[(e + segment * 0x9e3779b9u) % kShards];
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Miss: materialize outside the lock (bisection for Nakagami/Rician is the
+  // expensive part); a racing filler computes the identical value, so the
+  // duplicate work is harmless and emplace keeps the first.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Entry entry;
+  entry.ed = tveg.materialize_ed(e, t);
+  entry.weight = entry.ed->min_cost_for(tveg.radio().epsilon);
+  std::lock_guard lock(shard.mutex);
+  if (options_.max_entries > 0 &&
+      shard.map.size() >= (options_.max_entries + kShards - 1) / kShards) {
+    evictions_.fetch_add(shard.map.size(), std::memory_order_relaxed);
+    shard.map.clear();
+  }
+  shard.map.emplace(key, entry);
+  return entry;
+}
+
+std::shared_ptr<const channel::EdFunction> EdWeightCache::ed(const Tveg& tveg,
+                                                             std::size_t e,
+                                                             Time t) const {
+  return lookup(tveg, e, t).ed;
+}
+
+Cost EdWeightCache::edge_weight(const Tveg& tveg, std::size_t e,
+                                Time t) const {
+  return lookup(tveg, e, t).weight;
+}
+
+EdWeightCache::Stats EdWeightCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EdWeightCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
+}  // namespace tveg::core

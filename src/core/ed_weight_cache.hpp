@@ -1,0 +1,98 @@
+// Memoization of ED-function materialization and min-cost edge weights.
+//
+// Every consumer of a Tveg — auxiliary-graph construction, the prune pass's
+// cascade feasibility checks, FR backbone selection, NLP coverage, and the
+// Monte-Carlo executor — ultimately materializes the ED-function of an
+// (edge, time) pair from the edge's piecewise-constant distance profile and
+// then evaluates it (a heap allocation plus, for Nakagami/Rician, a
+// 200-step bisection per min-cost query). The channel is constant on each
+// distance-profile segment, so there are only |edges| × |segments| distinct
+// ED-functions per TVEG; this cache memoizes them (and their min-cost
+// weight at the radio's ε) keyed by (edge, segment) — the refinement of the
+// (edge, DTS-interval, ε) key: DTS intervals subdivide profile segments, so
+// one entry serves every DTS point of the segment.
+//
+// Thread safety: lookups are safe from concurrent readers (sharded
+// mutex-protected maps; entries are immutable once inserted and handed out
+// as shared_ptr so eviction can never free an ED-function mid-use).
+// Attach/detach (Tveg::attach_cache) must not race with lookups.
+//
+// Correctness: entries are built by the exact same code path as the
+// uncached Tveg queries (Tveg::materialize_ed), so cached results are
+// bit-identical to the memoization-free ones — the differential suite
+// (tests/diff/) pins this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "channel/ed_function.hpp"
+#include "tvg/types.hpp"
+
+namespace tveg::core {
+
+class Tveg;
+
+/// Shared, thread-safe memo of per-(edge, distance-segment) ED-functions
+/// and their ε-cost edge weights.
+class EdWeightCache {
+ public:
+  struct Options {
+    /// Soft bound on resident entries; exceeding it evicts (whole shards at
+    /// a time — cheap, and correctness is unaffected since entries are pure
+    /// memos). 0 means unbounded.
+    std::size_t max_entries = 1 << 20;
+  };
+
+  explicit EdWeightCache(Options options);
+  EdWeightCache() : EdWeightCache(Options{}) {}
+  ~EdWeightCache();
+
+  EdWeightCache(const EdWeightCache&) = delete;
+  EdWeightCache& operator=(const EdWeightCache&) = delete;
+
+  /// The memoized ED-function of edge `e` of `tveg` at time `t` (present
+  /// edge assumed — adjacency is the caller's check, exactly as in
+  /// Tveg::ed_function).
+  std::shared_ptr<const channel::EdFunction> ed(const Tveg& tveg,
+                                                std::size_t e, Time t) const;
+
+  /// The memoized min-cost weight at the radio's ε for edge `e` at `t`.
+  Cost edge_weight(const Tveg& tveg, std::size_t e, Time t) const;
+
+  /// Counter snapshot (monotone; also flushed into the obs registry under
+  /// tveg.cache.* on destruction).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< entries dropped by capacity pressure
+  };
+  Stats stats() const;
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const channel::EdFunction> ed;
+    Cost weight = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  const Entry lookup(const Tveg& tveg, std::size_t e, Time t) const;
+
+  Options options_;
+  mutable Shard shards_[kShards];
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace tveg::core

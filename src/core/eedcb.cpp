@@ -34,29 +34,47 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
   options.deadline.check("eedcb");
 
   const auto aux_start = Clock::now();
-  const AuxGraph aux(instance, dts, {.power_expansion = options.power_expansion});
+  const AuxGraph aux(
+      instance, dts,
+      {.power_expansion = options.power_expansion, .pool = options.pool});
   options.deadline.check("aux_graph");
+  const double aux_ms = ms_since(aux_start);
+
+  graph::SteinerSolver solver(aux.digraph());
+  SchedulerResult result = run_eedcb_on_aux(instance, dts, aux, solver, options);
+  result.stats.aux_build_ms = aux_ms;
+  return result;
+}
+
+SchedulerResult run_eedcb_on_aux(const TmedbInstance& instance,
+                                 const DiscreteTimeSet& dts,
+                                 const AuxGraph& aux,
+                                 graph::SteinerSolver& solver,
+                                 const EedcbOptions& options) {
+  instance.validate();
+  options.deadline.check("eedcb");
 
   SchedulerResult result;
   result.stats.dts_points = dts.total_points();
   result.stats.aux_vertices = aux.vertex_count();
   result.stats.aux_arcs = aux.arc_count();
-  result.stats.aux_build_ms = ms_since(aux_start);
 
-  graph::SteinerSolver solver(aux.digraph());
+  const graph::VertexId source = aux.source_vertex_for(instance.source);
+  const std::vector<graph::VertexId> terminals = aux.terminals_for(instance);
+
   solver.set_deadline(options.deadline);
+  solver.set_pool(options.pool);
   graph::SteinerResult tree;
   {
     obs::TraceSpan span("steiner");
     const auto steiner_start = Clock::now();
     switch (options.method) {
       case SteinerMethod::kRecursiveGreedy:
-        tree = solver.recursive_greedy(aux.source_vertex(), aux.terminals(),
+        tree = solver.recursive_greedy(source, terminals,
                                        options.steiner_level);
         break;
       case SteinerMethod::kShortestPath:
-        tree = solver.shortest_path_heuristic(aux.source_vertex(),
-                                              aux.terminals());
+        tree = solver.shortest_path_heuristic(source, terminals);
         break;
     }
     result.stats.steiner_ms = ms_since(steiner_start);

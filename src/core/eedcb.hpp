@@ -39,6 +39,10 @@ struct EedcbOptions {
   /// ladder (fault/degrade.hpp) catches it and descends to a cheaper
   /// scheduler. Default: unlimited.
   support::Deadline deadline;
+  /// Optional worker pool for aux-graph construction and the Steiner
+  /// solver's parallel phases. Schedules are byte-identical with or without
+  /// a pool (tests/diff pins this); nullptr = fully serial.
+  support::ThreadPool* pool = nullptr;
 };
 
 /// Size and work diagnostics of one scheduler run. The *_ms phase timings
@@ -72,5 +76,17 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
 SchedulerResult run_eedcb(const TmedbInstance& instance,
                           const DiscreteTimeSet& dts,
                           const EedcbOptions& options = {});
+
+/// Runs the Steiner + extraction + prune tail of EEDCB over a prebuilt
+/// auxiliary graph and solver — the amortization point of solve_many(): one
+/// aux graph and one solver (with its Dijkstra-tree cache) serve every
+/// instance sharing a TVEG and deadline. `instance` may differ from the one
+/// the aux graph was built with in source / targets / ε / budget only.
+/// Produces the same schedule run_eedcb would.
+SchedulerResult run_eedcb_on_aux(const TmedbInstance& instance,
+                                 const DiscreteTimeSet& dts,
+                                 const AuxGraph& aux,
+                                 graph::SteinerSolver& solver,
+                                 const EedcbOptions& options = {});
 
 }  // namespace tveg::core

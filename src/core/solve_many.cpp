@@ -1,0 +1,90 @@
+#include "core/solve_many.hpp"
+
+#include <cstddef>
+
+#include "core/aux_graph.hpp"
+#include "graph/steiner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tveg::core {
+
+TmedbInstance to_instance(const Tveg& tveg, const SolveRequest& request) {
+  TmedbInstance instance;
+  instance.tveg = &tveg;
+  instance.source = request.source;
+  instance.deadline = request.deadline;
+  instance.epsilon = request.epsilon;
+  instance.budget = request.budget;
+  instance.targets = request.targets;
+  return instance;
+}
+
+std::vector<SchedulerResult> solve_many(const Tveg& tveg,
+                                        const std::vector<SolveRequest>& requests,
+                                        const EedcbOptions& options) {
+  // One DTS serves the whole batch: it depends only on the TVEG and the
+  // dts options, never on source/deadline/targets.
+  const DiscreteTimeSet dts = tveg.build_dts(options.dts);
+  return solve_many(tveg, dts, requests, options);
+}
+
+std::vector<SchedulerResult> solve_many(const Tveg& tveg,
+                                        const DiscreteTimeSet& dts,
+                                        const std::vector<SolveRequest>& requests,
+                                        const EedcbOptions& options) {
+  obs::TraceSpan span("solve_many");
+  std::vector<SchedulerResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Group request indices by deadline (exact equality — sweeps repeat the
+  // same double), in first-appearance order for determinism.
+  struct Group {
+    Time deadline;
+    std::vector<std::size_t> indices;
+  };
+  std::vector<Group> groups;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    Group* group = nullptr;
+    for (Group& g : groups)
+      if (g.deadline == requests[r].deadline) {
+        group = &g;
+        break;
+      }
+    if (group == nullptr) {
+      groups.push_back({requests[r].deadline, {}});
+      group = &groups.back();
+    }
+    group->indices.push_back(r);
+  }
+
+  std::size_t reused = 0;
+  for (const Group& group : groups) {
+    // One aux graph + solver per deadline; the graph is source-independent
+    // (AuxGraph::source_vertex_for) and the solver's Dijkstra-tree cache
+    // carries over between requests of the group without changing results.
+    const TmedbInstance first =
+        to_instance(tveg, requests[group.indices.front()]);
+    const AuxGraph aux(
+        first, dts,
+        {.power_expansion = options.power_expansion, .pool = options.pool});
+    graph::SteinerSolver solver(aux.digraph());
+    for (std::size_t r : group.indices) {
+      const TmedbInstance instance = to_instance(tveg, requests[r]);
+      results[r] = run_eedcb_on_aux(instance, dts, aux, solver, options);
+    }
+    reused += group.indices.size() - 1;
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& batches = registry.counter("tveg.batch.solves");
+  static obs::Counter& batch_requests =
+      registry.counter("tveg.batch.requests");
+  static obs::Counter& aux_reuses = registry.counter("tveg.batch.aux_reuses");
+  batches.add(1);
+  batch_requests.add(requests.size());
+  aux_reuses.add(reused);
+  return results;
+}
+
+}  // namespace tveg::core

@@ -1,0 +1,54 @@
+// Batched EEDCB solving for scenario sweeps.
+//
+// A sweep (benchmark panel, Monte-Carlo study, CLI batch) solves many
+// instances over ONE TVEG that differ only in source / deadline / targets /
+// ε / budget. Solving them independently rebuilds the DTS, the auxiliary
+// graph, and the Steiner solver's shortest-path trees from scratch each
+// time, although all three depend only on (TVEG, dts options, deadline).
+// solve_many() amortizes them: one DTS for the whole batch, one auxiliary
+// graph + SteinerSolver per distinct deadline (the solver's Dijkstra-tree
+// cache then serves every request of the group). Results are byte-identical
+// to calling run_eedcb once per request — the shared tail is the same
+// run_eedcb_on_aux code path (tests/diff pins this).
+#pragma once
+
+#include <vector>
+
+#include "core/eedcb.hpp"
+#include "core/schedule.hpp"
+#include "core/tveg.hpp"
+
+namespace tveg::core {
+
+/// One instance of a batch; fields mirror TmedbInstance minus the TVEG.
+struct SolveRequest {
+  NodeId source = 0;
+  Time deadline = 0;
+  /// Acceptable failure rate ε; <= 0 defers to the TVEG radio's ε.
+  double epsilon = -1;
+  /// Cost budget; < 0 means no budget.
+  Cost budget = -1;
+  /// Terminal set; empty = broadcast.
+  std::vector<NodeId> targets;
+};
+
+/// The TmedbInstance a request denotes over `tveg` (what run_eedcb would be
+/// handed for the equivalent one-shot solve).
+TmedbInstance to_instance(const Tveg& tveg, const SolveRequest& request);
+
+/// Solves every request over one shared DTS, grouping requests with equal
+/// deadlines onto one auxiliary graph and Steiner solver. Results are in
+/// request order and byte-identical to per-request run_eedcb calls with the
+/// same options.
+std::vector<SchedulerResult> solve_many(
+    const Tveg& tveg, const std::vector<SolveRequest>& requests,
+    const EedcbOptions& options = {});
+
+/// As above over a caller-provided DTS (lets a workbench that already built
+/// one skip the rebuild).
+std::vector<SchedulerResult> solve_many(
+    const Tveg& tveg, const DiscreteTimeSet& dts,
+    const std::vector<SolveRequest>& requests,
+    const EedcbOptions& options = {});
+
+}  // namespace tveg::core

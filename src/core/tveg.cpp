@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
+#include "core/ed_weight_cache.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -47,7 +49,13 @@ double Tveg::distance(NodeId a, NodeId b, Time t) const {
 std::unique_ptr<channel::EdFunction> Tveg::ed_function(NodeId a, NodeId b,
                                                        Time t) const {
   TVEG_REQUIRE(graph_.adjacent(a, b, t), "pair not adjacent at t");
-  const double d = distance(a, b, t);
+  return materialize_ed(edge_of(a, b), t);
+}
+
+std::unique_ptr<channel::EdFunction> Tveg::materialize_ed(std::size_t e,
+                                                          Time t) const {
+  TVEG_ASSERT(e < distance_.size());
+  const double d = distance_[e].at(t);
   switch (options_.model) {
     case ChannelModel::kStep:
       return std::make_unique<channel::StepEdFunction>(
@@ -68,12 +76,23 @@ std::unique_ptr<channel::EdFunction> Tveg::ed_function(NodeId a, NodeId b,
 
 double Tveg::failure_probability(NodeId a, NodeId b, Time t, Cost w) const {
   if (!graph_.adjacent(a, b, t)) return 1.0;  // Property 3.1(iii)
+  if (cache_) return cache_->ed(*this, edge_of(a, b), t)->failure_probability(w);
   return ed_function(a, b, t)->failure_probability(w);
 }
 
 Cost Tveg::edge_weight(NodeId a, NodeId b, Time t) const {
   if (!graph_.adjacent(a, b, t)) return kInf;
+  if (cache_) return cache_->edge_weight(*this, edge_of(a, b), t);
   return ed_function(a, b, t)->min_cost_for(radio_.epsilon);
+}
+
+std::size_t Tveg::distance_segment(std::size_t e, Time t) const {
+  TVEG_ASSERT(e < distance_.size());
+  return distance_[e].segment(t);
+}
+
+void Tveg::attach_cache(std::shared_ptr<EdWeightCache> cache) {
+  cache_ = std::move(cache);
 }
 
 std::vector<DcsEntry> Tveg::discrete_cost_set(NodeId i, Time t) const {

@@ -19,6 +19,8 @@
 
 namespace tveg::core {
 
+class EdWeightCache;
+
 /// One entry of a node's discrete cost set (Prop. 6.1): informing `neighbor`
 /// from this node at the query time requires at least `cost`.
 struct DcsEntry {
@@ -83,16 +85,41 @@ class Tveg {
   /// breakpoints (Sec. V).
   DiscreteTimeSet build_dts(DtsOptions options = {}) const;
 
- private:
-  std::size_t edge_of(NodeId a, NodeId b) const;  // npos when absent
+  /// Attaches (or, with nullptr, detaches) a memoization cache. Every
+  /// subsequent edge_weight / failure_probability / discrete_cost_set query
+  /// is served from the cache; results are bit-identical to the uncached
+  /// path (tests/diff pins this). The cache may be shared between Tvegs
+  /// built from the same trace/radio/options (e.g. step and fading views
+  /// must NOT share one — their ED-functions differ). Not safe to call
+  /// concurrently with queries; attach before solving.
+  void attach_cache(std::shared_ptr<EdWeightCache> cache);
+  const EdWeightCache* cache() const { return cache_.get(); }
+
+  /// Materializes the ED-function of edge `e` at time `t` directly from the
+  /// distance profile, bypassing the cache and the adjacency check — the
+  /// filler the cache itself uses.
+  std::unique_ptr<channel::EdFunction> materialize_ed(std::size_t e,
+                                                      Time t) const;
+
+  /// Distance-profile segment index of edge `e` at `t` — the memoization
+  /// key component: the channel is constant within one segment.
+  std::size_t distance_segment(std::size_t e, Time t) const;
+
+  /// Graph edge id of pair (a, b), or npos when the pair never meets.
+  std::size_t edge_index(NodeId a, NodeId b) const { return edge_of(a, b); }
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t edge_of(NodeId a, NodeId b) const;  // npos when absent
 
   TimeVaryingGraph graph_;
   channel::RadioParams radio_;
   Options options_;
   /// Distance profile per graph edge id.
   std::vector<channel::PiecewiseConstantProfile> distance_;
+  /// Optional memo for ED materialization / edge weights (thread-safe).
+  std::shared_ptr<EdWeightCache> cache_;
 };
 
 }  // namespace tveg::core

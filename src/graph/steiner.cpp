@@ -168,36 +168,66 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
   std::size_t remaining = want;
   while (remaining > 0) {
     deadline_.check("steiner");
-    double best_density = kInf;
-    VertexId best_u = kNoVertex;
-    std::size_t best_k = 0;
 
-    std::vector<double> dists;
-    for (VertexId u = 0; u < g_.vertex_count(); ++u) {
-      const double to_u = sp.dist[static_cast<std::size_t>(u)];
-      if (to_u == kInf) continue;
-      dists.clear();
-      for (std::size_t k = 0; k < state.terminals.size(); ++k) {
-        if (state.covered[k]) continue;
-        const double d = dist_to_term_[k][static_cast<std::size_t>(u)];
-        if (d < kInf) dists.push_back(d);
-      }
-      if (dists.empty()) continue;
-      const std::size_t take = std::min(remaining, dists.size());
-      std::partial_sort(dists.begin(),
-                        dists.begin() + static_cast<std::ptrdiff_t>(take),
-                        dists.end());
-      double sum = to_u;
-      for (std::size_t kp = 1; kp <= take; ++kp) {
-        sum += dists[kp - 1];
-        const double density = sum / static_cast<double>(kp);
-        if (density < best_density) {
-          best_density = density;
-          best_u = u;
-          best_k = kp;
+    // One scan pass over a contiguous vertex range, keeping the first
+    // (u, k') attaining the minimum density (strict <, u then k' ascending).
+    struct Best {
+      double density = kInf;
+      VertexId u = kNoVertex;
+      std::size_t k = 0;
+    };
+    const auto scan_range = [&](VertexId lo, VertexId hi) {
+      Best best;
+      std::vector<double> dists;
+      for (VertexId u = lo; u < hi; ++u) {
+        const double to_u = sp.dist[static_cast<std::size_t>(u)];
+        if (to_u == kInf) continue;
+        dists.clear();
+        for (std::size_t k = 0; k < state.terminals.size(); ++k) {
+          if (state.covered[k]) continue;
+          const double d = dist_to_term_[k][static_cast<std::size_t>(u)];
+          if (d < kInf) dists.push_back(d);
+        }
+        if (dists.empty()) continue;
+        const std::size_t take = std::min(remaining, dists.size());
+        std::partial_sort(dists.begin(),
+                          dists.begin() + static_cast<std::ptrdiff_t>(take),
+                          dists.end());
+        double sum = to_u;
+        for (std::size_t kp = 1; kp <= take; ++kp) {
+          sum += dists[kp - 1];
+          const double density = sum / static_cast<double>(kp);
+          if (density < best.density) {
+            best.density = density;
+            best.u = u;
+            best.k = kp;
+          }
         }
       }
+      return best;
+    };
+
+    Best best;
+    const auto n = static_cast<std::size_t>(g_.vertex_count());
+    if (pool_ != nullptr && n > 1) {
+      // Chunked scan: each chunk finds its local first-minimum; merging the
+      // chunk results in ascending-range order with strict < reproduces the
+      // serial winner exactly (including float-tie behavior).
+      const std::size_t chunks = std::min(n, pool_->thread_count() + 1);
+      const std::size_t per = (n + chunks - 1) / chunks;
+      std::vector<Best> local(chunks);
+      pool_->parallel_for(0, chunks, [&](std::size_t c) {
+        const auto lo = static_cast<VertexId>(c * per);
+        const auto hi = static_cast<VertexId>(std::min(n, (c + 1) * per));
+        local[c] = scan_range(lo, hi);
+      });
+      for (const Best& b : local)
+        if (b.density < best.density) best = b;
+    } else {
+      best = scan_range(0, g_.vertex_count());
     }
+    const VertexId best_u = best.u;
+    const std::size_t best_k = best.k;
 
     if (best_u == kNoVertex) return;  // nothing more reachable
     state.tree.add_path(sp, best_u);
@@ -226,12 +256,30 @@ SteinerResult SteinerSolver::recursive_greedy(
   state.covered.assign(state.terminals.size(), 0);
 
   // dist(u → terminal) for every u, via Dijkstra on the reversed graph.
+  // Each run writes an indexed slot and the work counters are summed in
+  // terminal order afterwards, so the pooled path is bit-identical (results
+  // and stats) to the serial one.
   dist_to_term_.assign(state.terminals.size(), {});
-  for (std::size_t k = 0; k < state.terminals.size(); ++k) {
-    if ((k & 15u) == 0) deadline_.check("steiner");
-    ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
-    note_run(sp);
-    dist_to_term_[k] = std::move(sp.dist);
+  if (pool_ != nullptr && state.terminals.size() > 1) {
+    std::vector<ShortestPaths> runs(state.terminals.size());
+    pool_->parallel_for(0, state.terminals.size(), [&](std::size_t k) {
+      deadline_.check("steiner");
+      runs[k] = dijkstra(reversed_, state.terminals[k]);
+    });
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      note_run(runs[k]);
+      dist_to_term_[k] = std::move(runs[k].dist);
+    }
+    static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
+        "tveg.parallel.steiner_dijkstras");
+    par_runs.add(state.terminals.size());
+  } else {
+    for (std::size_t k = 0; k < state.terminals.size(); ++k) {
+      if ((k & 15u) == 0) deadline_.check("steiner");
+      ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
+      note_run(sp);
+      dist_to_term_[k] = std::move(sp.dist);
+    }
   }
 
   greedy_cover(state, root, level, state.terminals.size());
@@ -260,12 +308,21 @@ SteinerResult SteinerSolver::exact_small(
   }
 
   // Full single-source trees from every vertex: distances for the DP plus
-  // parents for arc reconstruction.
+  // parents for arc reconstruction. Indexed slots + in-order stats keep the
+  // pooled path bit-identical to the serial one.
   std::vector<ShortestPaths> sp(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    sp[v] = dijkstra(g_, static_cast<VertexId>(v));
-    note_run(sp[v]);
+  if (pool_ != nullptr && n > 1) {
+    pool_->parallel_for(0, n, [&](std::size_t v) {
+      sp[v] = dijkstra(g_, static_cast<VertexId>(v));
+    });
+    static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
+        "tveg.parallel.steiner_dijkstras");
+    par_runs.add(n);
+  } else {
+    for (std::size_t v = 0; v < n; ++v)
+      sp[v] = dijkstra(g_, static_cast<VertexId>(v));
   }
+  for (std::size_t v = 0; v < n; ++v) note_run(sp[v]);
   auto dist = [&](std::size_t v, std::size_t u) { return sp[v].dist[u]; };
 
   const std::size_t full = (std::size_t{1} << k) - 1;

@@ -21,6 +21,7 @@
 
 #include "graph/digraph.hpp"
 #include "support/deadline.hpp"
+#include "support/thread_pool.hpp"
 
 namespace tveg::graph {
 
@@ -49,6 +50,15 @@ class SteinerSolver {
   /// shortest-path runs and density scans and throw support::TimeoutError
   /// when it expires. Default: unlimited.
   void set_deadline(support::Deadline deadline) { deadline_ = deadline; }
+
+  /// Optional worker pool for the embarrassingly parallel phases: the
+  /// per-terminal reverse Dijkstras and the level-2 density scan of
+  /// recursive_greedy, and exact_small's all-sources trees. Results are
+  /// bit-identical to the serial path — every parallel phase either writes
+  /// indexed slots or reduces chunk-local minima in serial chunk order (the
+  /// level-2 winner is the lexicographically first (u, k') attaining the
+  /// minimum density, same as the serial strict-< scan). nullptr = serial.
+  void set_pool(support::ThreadPool* pool) { pool_ = pool; }
 
   /// Union of shortest paths to each terminal, then non-terminal leaves are
   /// pruned. O(|X|·SP) after one Dijkstra from the root.
@@ -92,6 +102,7 @@ class SteinerSolver {
 
   QueryStats stats_;
   support::Deadline deadline_;
+  support::ThreadPool* pool_ = nullptr;
 
   /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the
   /// terminal set of the current recursive_greedy query.

@@ -46,6 +46,9 @@ Workbench::Workbench(const trace::ContactTrace& trace,
 Workbench::Workbench(const trace::ContactTrace& trace,
                      channel::RadioParams radio, Options options)
     : options_(options),
+      pool_(options.threads > 0
+                ? std::make_unique<support::ThreadPool>(options.threads)
+                : nullptr),
       step_(std::make_unique<core::Tveg>(
           trace, radio,
           core::Tveg::Options{.model = channel::ChannelModel::kStep,
@@ -55,7 +58,23 @@ Workbench::Workbench(const trace::ContactTrace& trace,
           core::Tveg::Options{.model = channel::ChannelModel::kRayleigh,
                               .tau = options.tau})),
       // Both views share topology and breakpoints, so one DTS serves both.
-      dts_(step_->build_dts(options.dts)) {}
+      dts_(step_->build_dts(options.dts)) {
+  if (options.use_cache) {
+    // One cache per channel view — their ED-functions differ, so they must
+    // never share entries.
+    step_->attach_cache(std::make_shared<core::EdWeightCache>());
+    fading_->attach_cache(std::make_shared<core::EdWeightCache>());
+  }
+}
+
+core::EedcbOptions Workbench::eedcb_options() const {
+  core::EedcbOptions eedcb;
+  eedcb.method = options_.steiner_method;
+  eedcb.steiner_level = options_.steiner_level;
+  eedcb.dts = options_.dts;
+  eedcb.pool = pool_.get();
+  return eedcb;
+}
 
 core::TmedbInstance Workbench::step_instance(NodeId source,
                                              Time deadline) const {
@@ -70,9 +89,7 @@ core::TmedbInstance Workbench::fading_instance(NodeId source,
 Workbench::RunOutcome Workbench::run(Algorithm algorithm, NodeId source,
                                      Time deadline,
                                      std::uint64_t seed) const {
-  core::EedcbOptions eedcb;
-  eedcb.method = options_.steiner_method;
-  eedcb.steiner_level = options_.steiner_level;
+  const core::EedcbOptions eedcb = eedcb_options();
 
   RunOutcome outcome;
   switch (algorithm) {
@@ -123,6 +140,22 @@ Workbench::RunOutcome Workbench::run(Algorithm algorithm, NodeId source,
   outcome.normalized_energy =
       core::normalized_energy(metric_instance, outcome.schedule);
   return outcome;
+}
+
+std::vector<Workbench::RunOutcome> Workbench::run_many_eedcb(
+    const std::vector<core::SolveRequest>& requests) const {
+  const std::vector<core::SchedulerResult> solved =
+      core::solve_many(*step_, dts_, requests, eedcb_options());
+  std::vector<RunOutcome> outcomes(solved.size());
+  for (std::size_t i = 0; i < solved.size(); ++i) {
+    outcomes[i].schedule = solved[i].schedule;
+    outcomes[i].covered_all = solved[i].covered_all;
+    outcomes[i].stats = solved[i].stats;
+    outcomes[i].normalized_energy = core::normalized_energy(
+        step_instance(requests[i].source, requests[i].deadline),
+        solved[i].schedule);
+  }
+  return outcomes;
 }
 
 DeliveryStats Workbench::delivery_under_fading(NodeId source,

@@ -7,11 +7,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "channel/radio.hpp"
+#include "core/ed_weight_cache.hpp"
 #include "core/fr.hpp"
+#include "core/solve_many.hpp"
 #include "core/tveg.hpp"
 #include "sim/monte_carlo.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/contact_trace.hpp"
 
 namespace tveg::sim {
@@ -51,6 +55,14 @@ class Workbench {
         core::SteinerMethod::kRecursiveGreedy;
     int steiner_level = 2;
     DtsOptions dts;
+    /// Worker threads for the parallel pipeline phases; 0 = fully serial
+    /// (the differential-testing oracle). Schedules are byte-identical for
+    /// every thread count.
+    std::size_t threads = 0;
+    /// Memoize ED-function materialization and edge weights (one
+    /// core::EdWeightCache per channel view). Disabling reproduces the
+    /// memoization-free pipeline bit for bit, only slower.
+    bool use_cache = true;
   };
 
   Workbench(const trace::ContactTrace& trace, channel::RadioParams radio,
@@ -83,13 +95,23 @@ class Workbench {
   RunOutcome run(Algorithm algorithm, NodeId source, Time deadline,
                  std::uint64_t seed = 1) const;
 
+  /// Batched EEDCB panel via core::solve_many: one auxiliary graph and
+  /// Steiner solver per distinct deadline serve the whole batch. Outcomes
+  /// are in request order and byte-identical to per-request
+  /// run(kEedcb, ...) calls.
+  std::vector<RunOutcome> run_many_eedcb(
+      const std::vector<core::SolveRequest>& requests) const;
+
   /// Monte-Carlo delivery of `schedule` under the fading view (Fig. 6(b)).
   DeliveryStats delivery_under_fading(NodeId source,
                                       const core::Schedule& schedule,
                                       const McOptions& mc = {}) const;
 
  private:
+  core::EedcbOptions eedcb_options() const;
+
   Options options_;
+  std::unique_ptr<support::ThreadPool> pool_;
   std::unique_ptr<core::Tveg> step_;
   std::unique_ptr<core::Tveg> fading_;
   DiscreteTimeSet dts_;

@@ -22,6 +22,12 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t x = seed;
+  x = splitmix64(x) ^ stream;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -68,4 +68,13 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Seed of stream `stream` in the family rooted at `seed`: two rounds of
+/// splitmix64 with the stream index injected between them. Use this — not
+/// `seed ^ f(stream)` — to derive per-trial seeds: XOR with any per-stream
+/// offset is linear, so two scenario seeds produce *identical* trial
+/// streams at shifted indices (s ^ f(i) == s' ^ f(j) has solutions for
+/// every pair s, s'), silently correlating supposedly independent
+/// experiments. The double avalanche decorrelates both arguments fully.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace tveg::support
