@@ -12,6 +12,7 @@
 
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -124,7 +125,13 @@ inline void emit(const std::string& title, const support::Table& table) {
 /// timed work, so snapshotting never perturbs the measurements.
 class Report {
  public:
-  explicit Report(std::string name) : name_(std::move(name)) {}
+  explicit Report(std::string name) : name_(std::move(name)) {
+    // Aggregate phase tracing on for every bench: the per-phase breakdown
+    // ("phases" in the report) is what bench_gate uses to attribute a
+    // timing regression to the phase that slowed down. Costs one clock
+    // read per phase enter/exit — identical in baseline and current runs.
+    obs::set_enabled(true);
+  }
 
   /// Records a bench parameter shown under "config".
   void set_config(const std::string& key, const std::string& value) {
@@ -178,6 +185,10 @@ class Report {
     for (const auto& t : timings_) timings.push_back(t);
     doc.set("timings", std::move(timings));
     doc.set("obs", obs::snapshot());
+    // Per-phase attribution (count, wall_ms, p50/p95/p99 duration): the
+    // bench gate joins this against the committed baseline to name the
+    // phase responsible when a top-level timing regresses.
+    doc.set("phases", obs::phase_attribution());
 
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);

@@ -56,6 +56,11 @@ class TimingReporter : public benchmark::ConsoleReporter {
 inline int run_microbench(int argc, char** argv, const std::string& name) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Phase tracing must be on *during* the benchmark loop for the report's
+  // "phases" attribution block to carry data (Report's constructor runs
+  // only after the timed work here). Present in baseline and current runs
+  // alike, so the gate's relative comparison is unaffected.
+  obs::set_enabled(true);
   TimingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

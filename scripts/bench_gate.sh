@@ -7,9 +7,17 @@
 #   * the parallel-pipeline acceptance bar: BM_EedcbPipelineCachedPool must
 #     be >= 2x faster than BM_EedcbPipelineSerial on the largest scenario.
 #
+# When a bench regresses, the gate attributes the regression: it diffs the
+# per-phase breakdown ("phases" in the report — wall_ms + p50/p95/p99 from
+# the obs histograms) between the baseline and the current run and names the
+# phase(s) whose wall time grew the most.
+#
 # Usage: scripts/bench_gate.sh [--update] [--skip-run]
 #   --update    rewrite the committed baselines from this run's results
 #   --skip-run  compare the JSONs already present in the work dir (debug aid)
+#
+# BASELINE_DIR / WORK_DIR may be overridden via the environment (the
+# attribution regression test points them at synthetic fixtures).
 #
 # Baselines are machine-dependent; after moving CI hardware, re-run with
 # --update and commit the refreshed bench/baselines/.
@@ -17,8 +25,8 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
-BASELINE_DIR="${REPO_ROOT}/bench/baselines"
-WORK_DIR="${BUILD_DIR}/bench-gate"
+BASELINE_DIR="${BASELINE_DIR:-${REPO_ROOT}/bench/baselines}"
+WORK_DIR="${WORK_DIR:-${BUILD_DIR}/bench-gate}"
 TOLERANCE="${TVEG_BENCH_TOLERANCE:-0.15}"
 BENCHES=(micro_dts micro_steiner online_vs_offline)
 
@@ -60,10 +68,31 @@ import sys
 baseline_dir, work_dir, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
 benches = sys.argv[4:]
 
-def load_timings(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+def timings(doc):
     return {t["name"]: t["real_ms"] for t in doc.get("timings", [])}
+
+def phases(doc):
+    return {p["name"]: p for p in doc.get("phases", [])}
+
+def attribute(base_doc, cur_doc):
+    """Per-phase wall-time deltas, worst growth first.
+
+    Returns [(name, base_ms, cur_ms, delta_ms, ratio)] for phases whose wall
+    time grew; the head of the list is the phase to blame for a bench-level
+    regression."""
+    base, cur = phases(base_doc), phases(cur_doc)
+    out = []
+    for name, p in cur.items():
+        b = base.get(name, {}).get("wall_ms", 0.0)
+        c = p.get("wall_ms", 0.0)
+        if c > b:
+            out.append((name, b, c, c - b, c / b if b > 0 else float("inf")))
+    out.sort(key=lambda r: -r[3])
+    return out
 
 failures = []
 rows = []
@@ -71,13 +100,15 @@ pipeline = {}
 
 for bench in benches:
     try:
-        base = load_timings(f"{baseline_dir}/BENCH_{bench}.json")
+        base_doc = load_doc(f"{baseline_dir}/BENCH_{bench}.json")
     except FileNotFoundError:
         failures.append(
             f"{bench}: no committed baseline — run scripts/bench_gate.sh "
             "--update and commit bench/baselines/")
         continue
-    cur = load_timings(f"{work_dir}/BENCH_{bench}.json")
+    cur_doc = load_doc(f"{work_dir}/BENCH_{bench}.json")
+    base, cur = timings(base_doc), timings(cur_doc)
+    bench_regressed = False
     for name in sorted(base):
         if name not in cur:
             failures.append(f"{bench}: benchmark '{name}' disappeared")
@@ -87,6 +118,7 @@ for bench in benches:
         verdict = "ok"
         if ratio > 1 + tolerance:
             verdict = "REGRESSED"
+            bench_regressed = True
             failures.append(
                 f"{bench}: {name} regressed {ratio:.2f}x "
                 f"({old:.2f} ms -> {new:.2f} ms, tolerance {tolerance:.0%})")
@@ -99,6 +131,21 @@ for bench in benches:
     for name in sorted(set(cur) - set(base)):
         rows.append((bench, name, float("nan"), cur[name], float("nan"),
                      "new (no baseline)"))
+
+    if bench_regressed:
+        blamed = attribute(base_doc, cur_doc)
+        if blamed:
+            name, b, c, delta, pratio = blamed[0]
+            detail = ", ".join(
+                f"{n} (+{d:.2f} ms)" for n, _, _, d, _ in blamed[:3])
+            failures.append(
+                f"{bench}: slowest-regressing phase is '{name}' "
+                f"({b:.2f} ms -> {c:.2f} ms, +{delta:.2f} ms, "
+                f"{pratio:.2f}x); top phase deltas: {detail}")
+        else:
+            failures.append(
+                f"{bench}: no phase grew vs baseline — regression is "
+                "outside the traced phases (harness, allocator, machine)")
 
 print(f"{'bench':<18} {'benchmark':<34} {'base ms':>10} {'now ms':>10} "
       f"{'ratio':>7}  verdict")

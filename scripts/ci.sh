@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# CI driver, five stages:
+# CI driver, six stages:
 #   plain  build (TVEG_WERROR=ON: -Werror + the hardened -Wconversion
 #          -Wdouble-promotion -Wnon-virtual-dtor tier) + full test suite
+#   obs    observability end-to-end: a threaded sweep with --trace-out and
+#          --flight-out, an independent Python validation of the Perfetto
+#          trace (worker tracks, queue waits, matched B/E pairs), plus the
+#          trace-schema and span-overhead ctests re-run in isolation
 #   lint   scripts/lint.sh — clang-tidy (when available) + tveg-lint
 #   asan   suite under AddressSanitizer; also drives the malformed-input
 #          trace corpus through the CLI parser, so every rejection path
@@ -11,7 +15,7 @@
 #          parallel-solve stress tests provoke the contention TSan needs
 #
 # Usage: scripts/ci.sh [--fast] [--bench]
-#   --fast   plain build + ctest only (skips lint and all sanitizer tiers)
+#   --fast   plain build + ctest only (skips obs, lint and sanitizer tiers)
 #   --bench  additionally run scripts/bench_gate.sh (bench regression gate)
 set -euo pipefail
 
@@ -66,9 +70,67 @@ drive_corpus() {
 # CI builds the plain suite with the hardened warning tier fatal; the
 # sanitizer suites keep TVEG_WERROR off so a sanitizer-instrumentation
 # quirk can never mask a real race/overflow report behind a build failure.
+drive_obs() {
+  # End-to-end observability check on the plain build: generate a small
+  # trace, sweep it with 4 workers and both outputs armed, then validate the
+  # Perfetto JSON independently of the in-binary validator — the sweep must
+  # show at least two pool-worker tracks with queue-wait and phase spans.
+  local build_dir="$1"
+  local tmedb="${build_dir}/src/cli/tmedb"
+  local work
+  work="$(mktemp -d)"
+  echo "==== [obs] threaded sweep with --trace-out / --flight-out ===="
+  "${tmedb}" generate --kind snapshots --nodes 12 --horizon 2000 --seed 3 \
+      --out "${work}/ci.trace"
+  "${tmedb}" sweep "${work}/ci.trace" --from 1000 --to 2000 --step 500 \
+      --threads 4 --trace-out "${work}/sweep.perfetto.json" \
+      --flight-out "${work}/sweep.flight.txt"
+  [[ -s "${work}/sweep.flight.txt" ]] || {
+    echo "flight recorder produced no dump"; exit 1; }
+  grep -q "flight-recorder:" "${work}/sweep.flight.txt" || {
+    echo "flight dump header missing"; exit 1; }
+  python3 - "${work}/sweep.perfetto.json" <<'PYEOF'
+import collections
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+names = {e["args"]["name"]: e["tid"] for e in events
+         if e["ph"] == "M" and e["name"] == "thread_name"}
+workers = [n for n in names if n.startswith("pool-worker-")]
+assert len(workers) >= 2, f"want >=2 worker tracks, got {sorted(names)}"
+phases = {e["name"] for e in events if e["ph"] in ("B", "X")}
+for want in ("queue_wait", "pool_task", "aux_dcs_fill"):
+    assert want in phases, f"span '{want}' missing from {sorted(phases)}"
+stacks = collections.defaultdict(list)
+last_ts = collections.defaultdict(float)
+for e in events:
+    if e["ph"] not in ("B", "E"):
+        continue
+    tid = e["tid"]
+    assert e["ts"] >= last_ts[tid], f"ts went backwards on tid {tid}"
+    last_ts[tid] = e["ts"]
+    if e["ph"] == "B":
+        stacks[tid].append(e["name"])
+    else:
+        assert stacks[tid] and stacks[tid].pop() == e["name"], \
+            f"unmatched E:{e['name']} on tid {tid}"
+assert not any(stacks.values()), f"unclosed spans: {dict(stacks)}"
+print(f"obs: {len(events)} events, {len(workers)} worker tracks, "
+      f"{len(phases)} span names — trace is well-formed")
+PYEOF
+  rm -rf "${work}"
+  echo "==== [obs] trace-schema + overhead ctests ===="
+  ctest --test-dir "${build_dir}" --output-on-failure \
+        -R 'Perfetto|Span|Overhead|FlightRecorder'
+}
+
 run_suite "plain" "${REPO_ROOT}/build-ci" -DTVEG_WERROR=ON
 
 if [[ "${FAST}" -eq 0 ]]; then
+  drive_obs "${REPO_ROOT}/build-ci"
   echo "==== [lint] scripts/lint.sh ===="
   "${REPO_ROOT}/scripts/lint.sh"
   run_suite "asan" "${REPO_ROOT}/build-asan" -DTVEG_SANITIZE=address

@@ -23,6 +23,8 @@
 #include "fault/fault_plan.hpp"
 #include "fault/repair.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "support/table.hpp"
@@ -116,9 +118,10 @@ const Args::Spec& spec_for(const std::string& cmd) {
       {"run",
        {{"algorithm", "source", "deadline", "seed", "trials", "steiner",
          "level", "threads", "save-schedule", "metrics-out", "faults",
-         "solver-budget-ms", "fault-log"},
+         "solver-budget-ms", "fault-log", "trace-out", "flight-out"},
         {"trace", "no-cache"}}},
-      {"sweep", {{"source", "from", "to", "step", "seed", "threads"},
+      {"sweep", {{"source", "from", "to", "step", "seed", "threads",
+                  "trace-out", "flight-out"},
                  {"no-cache"}}},
       {"evaluate",
        {{"source", "deadline", "trials", "seed", "reliability", "interference"},
@@ -148,13 +151,38 @@ void enable_observability() {
   obs::set_enabled(true);
 }
 
-/// Shared --metrics-out / --trace epilogue.
+/// Shared --trace-out / --flight-out prologue: arms span tracing (which
+/// implies the aggregate layer, so the ring spans line up with phase totals)
+/// and the crash-time flight-recorder dump path.
+void arm_tracing(const Args& args) {
+  if (args.has("trace-out")) {
+    enable_observability();
+    obs::set_span_tracing(true);
+    obs::set_current_thread_name("main");
+  }
+  if (args.has("flight-out"))
+    obs::set_flight_dump_path(args.get("flight-out", ""));
+}
+
+/// Shared --metrics-out / --trace / --trace-out / --flight-out epilogue.
 void emit_observability(const Args& args) {
   if (args.has("trace")) obs::trace_report(std::cerr);
   const std::string path = args.get("metrics-out", "");
   if (!path.empty()) {
     obs::write_snapshot_file(path);
     std::cout << "metrics written to: " << path << "\n";
+  }
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace_file(trace_path);
+    std::cout << "trace written to:   " << trace_path
+              << " (load in ui.perfetto.dev)\n";
+  }
+  if (args.has("flight-out")) {
+    // On-demand dump: the file exists even when no crash trigger fired
+    // during the run (triggers overwrite it with fresher context).
+    obs::flight_dump("on demand");
+    std::cout << "flight recorder:    " << args.get("flight-out", "") << "\n";
   }
 }
 
@@ -174,13 +202,21 @@ int usage() {
       "                  [--faults PLAN] [--solver-budget-ms N]\n"
       "                  [--fault-log FILE]\n"
       "                  [--metrics-out FILE] [--trace]\n"
+      "                  [--trace-out FILE] [--flight-out FILE]\n"
       "  tmedb sweep TRACE [--source ID] [--from T0] [--to T1] [--step DT]\n"
       "                  [--threads N] [--no-cache]\n"
+      "                  [--trace-out FILE] [--flight-out FILE]\n"
       "  tmedb evaluate TRACE SCHEDULE [--source ID] [--deadline T]\n"
       "                  [--trials K] [--reliability Q] [--interference 1]\n"
       "\n"
       "--metrics-out writes an obs snapshot (JSON, or CSV when FILE ends in\n"
       ".csv); --trace prints the phase tree to stderr.\n"
+      "--trace-out records thread-aware spans (phases, pool tasks,\n"
+      "queue waits, cache fills, MC trials) and writes a Chrome/Perfetto\n"
+      "trace_event JSON — open it in ui.perfetto.dev. --flight-out arms the\n"
+      "crash-time flight recorder: the last 256 solver events are dumped to\n"
+      "FILE on fallback-ladder demotion, deadline expiry or repair\n"
+      "divergence (and once more, on demand, when the command finishes).\n"
       "--faults injects a deterministic fault plan (key=value,... — keys:\n"
       "seed, edge_dropout, node_churn, churn_span, truncation,\n"
       "truncation_keep, jitter, cost_inflation, inflation_factor,\n"
@@ -296,6 +332,7 @@ int cmd_stats(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   if (args.positional().size() < 3) return usage();
+  arm_tracing(args);
   const auto trace = load_trace(args.positional()[2]);
   const auto source = static_cast<NodeId>(args.get_num("source", 0));
   const Time from = args.get_num("from", 2000);
@@ -320,6 +357,7 @@ int cmd_sweep(const Args& args) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  emit_observability(args);
   return 0;
 }
 
@@ -357,6 +395,7 @@ int cmd_run(const Args& args) {
   const double budget_ms = args.get_num("solver-budget-ms", -1);
 
   if (args.has("metrics-out") || args.has("trace")) enable_observability();
+  arm_tracing(args);
 
   sim::Workbench::Options bench_options;
   const std::string steiner = args.get("steiner", "spt");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
@@ -64,6 +65,7 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
   }
   std::vector<std::vector<DcsEntry>> dcs_by_slot(slots.size());
   const auto fill = [&](std::size_t s) {
+    obs::ScopedSpan fill_span("aux_dcs_fill");
     dcs_by_slot[s] =
         tveg.discrete_cost_set(static_cast<NodeId>(slots[s].i), slots[s].t);
   };

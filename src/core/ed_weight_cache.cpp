@@ -1,7 +1,9 @@
 #include "core/ed_weight_cache.hpp"
 
 #include "core/tveg.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/assert.hpp"
 
 namespace tveg::core {
@@ -29,12 +31,17 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   TVEG_ASSERT(segment < (std::uint64_t{1} << 32));
   const std::uint64_t key =
       (static_cast<std::uint64_t>(e) << 32) | static_cast<std::uint64_t>(segment);
-  Shard& shard = shards_[(e + segment * 0x9e3779b9u) % kShards];
+  const std::size_t shard_index = (e + segment * 0x9e3779b9u) % kShards;
+  Shard& shard = shards_[shard_index];
   {
     std::lock_guard lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      // Fill-vs-hit visibility: hit spans make cache effectiveness legible
+      // on the Perfetto timeline (a run dominated by ed_cache_fill spans is
+      // a cold or thrashing cache). Disabled-path cost: one load + branch.
+      obs::ScopedSpan hit_span("ed_cache_hit");
       return it->second;
     }
   }
@@ -42,6 +49,7 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   // expensive part); a racing filler computes the identical value, so the
   // duplicate work is harmless and emplace keeps the first.
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedSpan fill_span("ed_cache_fill");
   Entry entry;
   entry.ed = tveg.materialize_ed(e, t);
   entry.weight = entry.ed->min_cost_for(tveg.radio().epsilon);
@@ -49,6 +57,8 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   if (options_.max_entries > 0 &&
       shard.map.size() >= (options_.max_entries + kShards - 1) / kShards) {
     evictions_.fetch_add(shard.map.size(), std::memory_order_relaxed);
+    obs::flight_recorder().record(obs::FlightEventKind::kCacheEviction,
+                                  shard.map.size(), shard_index);
     shard.map.clear();
   }
   shard.map.emplace(key, entry);

@@ -7,6 +7,7 @@
 #include "core/baselines.hpp"
 #include "core/bip.hpp"
 #include "core/eedcb.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -79,16 +80,29 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
                                          : support::Deadline::after_ms(
                                                options.budget_ms);
 
+  using obs::FlightEventKind;
+  obs::flight_recorder().record(FlightEventKind::kSolveStart,
+                                static_cast<std::uint64_t>(options.start),
+                                static_cast<std::uint64_t>(
+                                    options.budget_ms < 0 ? 0
+                                                          : options.budget_ms));
+
   RobustSolveResult out;
   SolverRung rung = options.start;
   for (;;) {
     const bool last = rung == SolverRung::kGreed;
+    obs::flight_recorder().record(FlightEventKind::kRungStart,
+                                  static_cast<std::uint64_t>(rung), 0,
+                                  rung_name(rung));
     Error descent{ErrorCode::kInternal, "", -1};
     try {
       out.result = run_rung(rung, instance, dts, options,
                             last ? support::Deadline() : deadline);
       if (out.result.covered_all || last) {
         out.rung = rung;
+        obs::flight_recorder().record(FlightEventKind::kRungSelected,
+                                      static_cast<std::uint64_t>(rung),
+                                      out.descents.size(), rung_name(rung));
         if (out.degraded()) degraded_metric.add(1);
         return out;
       }
@@ -98,11 +112,20 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
                  -1};
     } catch (const support::TimeoutError& e) {
       descent = {ErrorCode::kTimeout, e.what(), -1};
+      obs::flight_recorder().record(FlightEventKind::kDeadlineExpired,
+                                    static_cast<std::uint64_t>(rung), 0,
+                                    rung_name(rung));
     } catch (const std::exception& e) {
       descent = {ErrorCode::kInternal,
                  std::string(rung_name(rung)) + " threw: " + e.what(), -1};
     }
     count_descent(descent);
+    obs::flight_recorder().record(
+        FlightEventKind::kRungDemoted, static_cast<std::uint64_t>(rung),
+        static_cast<std::uint64_t>(descent.code), rung_name(rung));
+    // A demotion is exactly the "what just happened?" moment the recorder
+    // exists for: dump the ring before the next rung overwrites context.
+    obs::flight_dump("fallback-ladder demotion");
     out.descents.push_back(std::move(descent));
     rung = rung == SolverRung::kEedcb ? SolverRung::kBip : SolverRung::kGreed;
   }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -32,6 +33,9 @@ void count_injected(FaultKind kind, std::uint64_t n = 1) {
   registry
       .counter(std::string("tveg.fault.injected.") + fault_kind_name(kind))
       .add(n);
+  obs::flight_recorder().record(obs::FlightEventKind::kFaultInjected,
+                                static_cast<std::uint64_t>(kind), n,
+                                fault_kind_name(kind));
 }
 
 /// Subtracts [w0, w1) from every fragment in `fragments` in place.

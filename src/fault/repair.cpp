@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "online/driver.hpp"
@@ -142,6 +143,10 @@ RepairOutcome repair_schedule(const core::TmedbInstance& planned_instance,
     return out;
   }
   diverged_metric.add(1);
+  obs::flight_recorder().record(obs::FlightEventKind::kRepairDivergence,
+                                out.uncovered_before,
+                                static_cast<std::uint64_t>(txs.size()));
+  obs::flight_dump("schedule-repair divergence");
 
   // Incremental re-solve on the faulted instance from what reality actually
   // achieved, starting at the detection time. Epidemic is the right patch
@@ -163,6 +168,8 @@ RepairOutcome repair_schedule(const core::TmedbInstance& planned_instance,
     if (t == kInf) ++out.uncovered_after;
 
   patched_txs.add(out.patch.size());
+  obs::flight_recorder().record(obs::FlightEventKind::kRepairPatched,
+                                out.uncovered_after, out.patch.size());
   if (out.uncovered_before > out.uncovered_after)
     recovered.add(out.uncovered_before - out.uncovered_after);
   return out;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -217,6 +218,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
       const std::size_t per = (n + chunks - 1) / chunks;
       std::vector<Best> local(chunks);
       pool_->parallel_for(0, chunks, [&](std::size_t c) {
+        obs::ScopedSpan chunk_span("steiner_density_scan");
         const auto lo = static_cast<VertexId>(c * per);
         const auto hi = static_cast<VertexId>(std::min(n, (c + 1) * per));
         local[c] = scan_range(lo, hi);
@@ -263,6 +265,7 @@ SteinerResult SteinerSolver::recursive_greedy(
   if (pool_ != nullptr && state.terminals.size() > 1) {
     std::vector<ShortestPaths> runs(state.terminals.size());
     pool_->parallel_for(0, state.terminals.size(), [&](std::size_t k) {
+      obs::ScopedSpan run_span("steiner_reverse_dijkstra");
       deadline_.check("steiner");
       runs[k] = dijkstra(reversed_, state.terminals[k]);
     });
@@ -313,6 +316,7 @@ SteinerResult SteinerSolver::exact_small(
   std::vector<ShortestPaths> sp(n);
   if (pool_ != nullptr && n > 1) {
     pool_->parallel_for(0, n, [&](std::size_t v) {
+      obs::ScopedSpan run_span("steiner_all_source");
       sp[v] = dijkstra(g_, static_cast<VertexId>(v));
     });
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(

@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -18,6 +19,7 @@ Json histogram_json(const Histogram::Snapshot& h) {
   j.set("max", h.count ? h.max : 0.0);
   j.set("p50", h.p50);
   j.set("p90", h.p90);
+  j.set("p95", h.p95);
   j.set("p99", h.p99);
   return j;
 }
@@ -68,6 +70,33 @@ Json snapshot() {
 }
 
 std::string snapshot_json(int indent) { return snapshot().dump(indent); }
+
+Json phase_attribution() {
+  // Join phase_totals (wall time + counts summed across the tree) with the
+  // per-phase duration histograms fed by TraceSpan closes; name-sorted so
+  // bench reports diff cleanly.
+  const MetricsRegistry::Snapshot m = MetricsRegistry::global().snapshot();
+  const std::string prefix = "tveg.obs.phase_ms.";
+  std::map<std::string, Histogram::Snapshot> hists;
+  for (const auto& [name, h] : m.histograms)
+    if (name.rfind(prefix, 0) == 0) hists[name.substr(prefix.size())] = h;
+
+  Json out = Json::array();
+  for (const auto& [name, node] : phase_totals()) {
+    Json p = Json::object();
+    p.set("name", name);
+    p.set("count", node.count);
+    p.set("wall_ms", node.wall_ms);
+    const auto it = hists.find(name);
+    if (it != hists.end() && it->second.count > 0) {
+      p.set("p50_ms", it->second.p50);
+      p.set("p95_ms", it->second.p95);
+      p.set("p99_ms", it->second.p99);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
 
 std::string metrics_csv() {
   const MetricsRegistry::Snapshot m = MetricsRegistry::global().snapshot();

@@ -29,6 +29,11 @@ Json snapshot();
 /// snapshot() serialized; indent as in Json::dump.
 std::string snapshot_json(int indent = 2);
 
+/// Per-phase attribution block (bench reports, bench_gate): a name-sorted
+/// array of { name, count, wall_ms [, p50_ms, p95_ms, p99_ms] } joining the
+/// aggregate phase tree with the tveg.obs.phase_ms.* duration histograms.
+Json phase_attribution();
+
 /// Flat CSV of the metrics registry:
 ///   kind,name,count,sum/value,min,max,p50,p90,p99
 /// (counter/gauge rows fill only the value column).

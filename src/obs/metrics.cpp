@@ -101,7 +101,10 @@ double Histogram::quantile(double q) const noexcept {
             (rank - static_cast<double>(seen)) / static_cast<double>(c);
         estimate = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
       }
-      return std::clamp(estimate, min(), max());
+      // A racing reset() can momentarily leave min > max; std::clamp with
+      // an inverted range is UB, so only clamp when the bounds are sane.
+      const double lo = min(), hi = max();
+      return lo <= hi ? std::clamp(estimate, lo, hi) : estimate;
     }
     seen += c;
   }
@@ -117,6 +120,7 @@ Histogram::Snapshot Histogram::snapshot() const noexcept {
   s.max = max();
   s.p50 = quantile(0.50);
   s.p90 = quantile(0.90);
+  s.p95 = quantile(0.95);
   s.p99 = quantile(0.99);
   return s;
 }

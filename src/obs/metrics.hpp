@@ -88,7 +88,7 @@ class Histogram {
   struct Snapshot {
     std::uint64_t count = 0;
     double sum = 0, min = 0, max = 0;
-    double p50 = 0, p90 = 0, p99 = 0;
+    double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
   };
   Snapshot snapshot() const noexcept;
 

@@ -1,0 +1,366 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tveg::obs {
+
+namespace {
+
+std::atomic<bool> g_span_tracing{false};
+
+/// Queue-track tids live 1000 above the owning worker's slot so both rows
+/// can coexist in Perfetto without colliding with real thread slots.
+constexpr std::uint32_t kQueueTidOffset = 1000;
+
+/// One completed span. `open_seq`/`close_seq` come from a single per-thread
+/// counter, so r2 nests inside r1 iff r1.open < r2.open && r2.close <
+/// r1.close — the export replay reconstructs B/E order from sequences, not
+/// timestamps, which keeps ties unambiguous.
+struct Record {
+  const char* name = nullptr;  ///< static storage duration
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t open_seq = 0;
+  std::uint64_t close_seq = 0;
+  bool queue = false;  ///< queue-wait interval (exported as an X event)
+};
+
+constexpr std::size_t kRingCapacity = 1 << 15;
+
+/// Per-thread ring; owned jointly by the thread (thread_local shared_ptr)
+/// and the registry, so records survive thread exit until the next export.
+struct Ring {
+  std::mutex mutex;  // guards everything below; uncontended except at export
+  std::vector<Record> records;  // ring storage, capacity kRingCapacity
+  std::uint64_t written = 0;    // monotone count of records ever pushed
+  std::uint64_t dropped = 0;
+  std::uint32_t slot = 0;
+  std::string name;
+
+  void push(const Record& r) {
+    std::lock_guard lock(mutex);
+    if (records.size() < kRingCapacity) {
+      records.push_back(r);
+    } else {
+      records[written % kRingCapacity] = r;
+      ++dropped;
+    }
+    ++written;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: spans may outlive main
+  return *r;
+}
+
+/// Per-thread state. The sequence counter is plain (only the owning thread
+/// touches it); the ring pointer is shared with the registry.
+struct ThreadState {
+  std::shared_ptr<Ring> ring;
+  std::uint64_t next_seq = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state = [] {
+    ThreadState s;
+    s.ring = std::make_shared<Ring>();
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    s.ring->slot = static_cast<std::uint32_t>(reg.rings.size());
+    reg.rings.push_back(s.ring);
+    return s;
+  }();
+  return state;
+}
+
+std::chrono::steady_clock::time_point epoch() noexcept {
+  static const std::chrono::steady_clock::time_point e =
+      std::chrono::steady_clock::now();
+  return e;
+}
+
+Counter& drop_counter() {
+  static Counter& c = MetricsRegistry::global().counter("tveg.obs.span_drops");
+  return c;
+}
+
+Json event(const char* ph, std::uint32_t tid, const std::string& name,
+           double ts_us) {
+  Json e = Json::object();
+  e.set("ph", Json(ph));
+  e.set("pid", Json(1));
+  e.set("tid", Json(static_cast<double>(tid)));
+  e.set("name", Json(name));
+  e.set("ts", Json(ts_us));
+  return e;
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Emits one thread's span records as matched B/E pairs: sort by open
+/// sequence, then replay with a stack, closing any span whose close_seq
+/// precedes the next open. Dropped records at worst flatten nesting — the
+/// pairs stay matched.
+void emit_thread_spans(std::vector<Record> records, std::uint32_t tid,
+                       Json& events) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.open_seq < b.open_seq;
+            });
+  std::vector<const Record*> stack;
+  auto close_top = [&] {
+    const Record* top = stack.back();
+    stack.pop_back();
+    events.push_back(event("E", tid, top->name, us(top->end_ns)));
+  };
+  for (const Record& r : records) {
+    while (!stack.empty() && stack.back()->close_seq < r.open_seq) close_top();
+    events.push_back(event("B", tid, r.name, us(r.begin_ns)));
+    stack.push_back(&r);
+  }
+  while (!stack.empty()) close_top();
+}
+
+}  // namespace
+
+void set_span_tracing(bool on) noexcept {
+  g_span_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool span_tracing() noexcept {
+  return g_span_tracing.load(std::memory_order_relaxed);
+}
+
+std::uint64_t now_epoch_ns() noexcept {
+  return to_epoch_ns(std::chrono::steady_clock::now());
+}
+
+std::uint64_t to_epoch_ns(std::chrono::steady_clock::time_point tp) noexcept {
+  const auto d = tp - epoch();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+  return ns.count() > 0 ? static_cast<std::uint64_t>(ns.count()) : 0;
+}
+
+void set_current_thread_name(const std::string& name) {
+  Ring& ring = *thread_state().ring;
+  std::lock_guard lock(ring.mutex);
+  ring.name = name;
+}
+
+std::uint64_t span_open() noexcept { return thread_state().next_seq++; }
+
+void span_close(const char* name, std::uint64_t open_seq,
+                std::uint64_t begin_ns, std::uint64_t end_ns) noexcept {
+  ThreadState& state = thread_state();
+  Record r;
+  r.name = name;
+  r.begin_ns = begin_ns;
+  r.end_ns = end_ns;
+  r.open_seq = open_seq;
+  r.close_seq = state.next_seq++;
+  state.ring->push(r);
+}
+
+void span_queue_wait(std::uint64_t begin_ns, std::uint64_t end_ns) noexcept {
+  ThreadState& state = thread_state();
+  Record r;
+  r.name = "queue_wait";
+  r.begin_ns = begin_ns;
+  r.end_ns = end_ns;
+  r.open_seq = state.next_seq++;
+  r.close_seq = state.next_seq++;
+  r.queue = true;
+  state.ring->push(r);
+}
+
+Json chrome_trace() {
+  // Snapshot every ring under its own mutex; drop counts roll into the
+  // registry metric here so exports and metrics snapshots agree.
+  struct Snapshot {
+    std::uint32_t slot;
+    std::string name;
+    std::vector<Record> spans;
+    std::vector<Record> queue;
+  };
+  std::vector<Snapshot> threads;
+  std::uint64_t dropped = 0;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& ring : reg.rings) {
+      std::lock_guard ring_lock(ring->mutex);
+      Snapshot s;
+      s.slot = ring->slot;
+      s.name = ring->name;
+      for (const Record& r : ring->records)
+        (r.queue ? s.queue : s.spans).push_back(r);
+      dropped += ring->dropped;
+      threads.push_back(std::move(s));
+    }
+  }
+  if (dropped > 0) {
+    // value() is a total since reset; re-sync rather than double-add.
+    Counter& c = drop_counter();
+    const std::uint64_t have =
+        c.value();  // tveg-lint: allow(unchecked-result) -- Counter, not Result
+    if (dropped > have) c.add(dropped - have);
+  }
+
+  Json events = Json::array();
+  Json process_meta = event("M", 0, "process_name", 0);
+  process_meta.set("args", [] {
+    Json a = Json::object();
+    a.set("name", Json("tveg"));
+    return a;
+  }());
+  events.push_back(std::move(process_meta));
+
+  for (const Snapshot& t : threads) {
+    const std::string label =
+        t.name.empty() ? "thread-" + std::to_string(t.slot) : t.name;
+    Json meta = event("M", t.slot, "thread_name", 0);
+    Json args = Json::object();
+    args.set("name", Json(label));
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+
+    if (!t.queue.empty()) {
+      Json qmeta = event("M", t.slot + kQueueTidOffset, "thread_name", 0);
+      Json qargs = Json::object();
+      qargs.set("name", Json("queue-wait " + label));
+      qmeta.set("args", std::move(qargs));
+      events.push_back(std::move(qmeta));
+    }
+
+    emit_thread_spans(t.spans, t.slot, events);
+
+    // Queue waits: the pool queue is FIFO, so each worker's dequeue order
+    // sees non-decreasing enqueue times — sorting by open_seq (dequeue
+    // order) keeps the queue track ts-monotone.
+    std::vector<Record> queue = t.queue;
+    std::sort(queue.begin(), queue.end(),
+              [](const Record& a, const Record& b) {
+                return a.open_seq < b.open_seq;
+              });
+    for (const Record& r : queue) {
+      Json x = event("X", t.slot + kQueueTidOffset, r.name, us(r.begin_ns));
+      const std::uint64_t dur = r.end_ns > r.begin_ns ? r.end_ns - r.begin_ns : 0;
+      x.set("dur", Json(us(dur)));
+      events.push_back(std::move(x));
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json("ms"));
+  return doc;
+}
+
+std::string chrome_trace_json() { return chrome_trace().dump(-1); }
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << chrome_trace_json() << "\n";
+  if (!out) throw std::runtime_error("cannot write trace to " + path);
+}
+
+std::string validate_chrome_trace(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return "missing traceEvents array";
+  std::map<std::uint64_t, double> last_ts;
+  std::map<std::uint64_t, std::vector<std::string>> stacks;
+  std::size_t i = 0;
+  for (const Json& e : events->items()) {
+    const std::string at = "event " + std::to_string(i++);
+    if (!e.is_object()) return at + ": not an object";
+    const Json* ph = e.find("ph");
+    const Json* pid = e.find("pid");
+    const Json* tid = e.find("tid");
+    const Json* name = e.find("name");
+    if (ph == nullptr || ph->type() != Json::Type::kString)
+      return at + ": missing ph";
+    if (pid == nullptr || pid->type() != Json::Type::kNumber)
+      return at + ": missing numeric pid";
+    if (tid == nullptr || tid->type() != Json::Type::kNumber)
+      return at + ": missing numeric tid";
+    if (name == nullptr || name->type() != Json::Type::kString)
+      return at + ": missing name";
+    const std::string& kind = ph->as_string();
+    if (kind == "M") continue;  // metadata: no timing constraints
+    if (kind != "B" && kind != "E" && kind != "X" && kind != "i")
+      return at + ": unknown ph '" + kind + "'";
+    const Json* ts = e.find("ts");
+    if (ts == nullptr || ts->type() != Json::Type::kNumber)
+      return at + ": missing numeric ts";
+    const auto key = static_cast<std::uint64_t>(tid->as_number());
+    const auto it = last_ts.find(key);
+    if (it != last_ts.end() && ts->as_number() < it->second)
+      return at + ": ts goes backwards on tid " + std::to_string(key);
+    last_ts[key] = ts->as_number();
+    if (kind == "X") {
+      const Json* dur = e.find("dur");
+      if (dur == nullptr || dur->type() != Json::Type::kNumber ||
+          dur->as_number() < 0)
+        return at + ": X event without non-negative dur";
+      continue;
+    }
+    if (kind == "B") {
+      stacks[key].push_back(name->as_string());
+    } else if (kind == "E") {
+      auto& stack = stacks[key];
+      if (stack.empty())
+        return at + ": E without matching B on tid " + std::to_string(key);
+      if (stack.back() != name->as_string())
+        return at + ": E '" + name->as_string() + "' does not match open B '" +
+               stack.back() + "'";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    if (!stack.empty())
+      return "unclosed B '" + stack.back() + "' on tid " + std::to_string(tid);
+  return "";
+}
+
+std::uint64_t span_drop_count() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : reg.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+void span_reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->records.clear();
+    ring->written = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace tveg::obs

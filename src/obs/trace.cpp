@@ -8,6 +8,9 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #ifdef __linux__
 #include <unistd.h>
 #endif
@@ -43,6 +46,9 @@ struct Node {
   std::atomic<std::uint64_t> total_ns{0};
   std::atomic<std::uint64_t> count{0};
   std::atomic<long long> rss_delta_kb{0};
+  /// Per-phase duration histogram (tveg.obs.phase_ms.<name>), resolved once
+  /// at node creation so span close never takes the registry mutex.
+  Histogram* hist = nullptr;
 };
 
 struct Tree {
@@ -71,6 +77,8 @@ struct Tree {
     nodes.emplace_back();
     nodes[id].name = name;
     nodes[id].parent = parent;
+    nodes[id].hist = &MetricsRegistry::global().histogram(
+        std::string("tveg.obs.phase_ms.") + name);
     nodes[parent].children.push_back(id);
     return {id, &nodes[id]};
   }
@@ -129,26 +137,39 @@ void set_rss_tracking(bool on) noexcept {
 }
 
 TraceSpan::TraceSpan(const char* name) noexcept {
-  if (!enabled()) return;
-  const auto [id, ptr] = tree().child(t_current, name);
-  node_ = id;
-  node_ptr_ = ptr;
-  prev_ = t_current;
-  t_current = node_;
-  if (g_rss.load(std::memory_order_relaxed)) rss_before_kb_ = read_rss_kb();
+  const bool aggregate = enabled();
+  const bool ring = span_tracing();
+  if (!aggregate && !ring) return;
+  if (aggregate) {
+    const auto [id, ptr] = tree().child(t_current, name);
+    node_ = id;
+    node_ptr_ = ptr;
+    prev_ = t_current;
+    t_current = node_;
+    if (g_rss.load(std::memory_order_relaxed)) rss_before_kb_ = read_rss_kb();
+  }
+  if (ring) {
+    ring_name_ = name;
+    ring_open_seq_ = span_open();
+  }
   start_ = std::chrono::steady_clock::now();
 }
 
 TraceSpan::~TraceSpan() {
+  if (node_ == kNone && ring_name_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const auto elapsed = end - start_;
+  if (ring_name_ != nullptr)
+    span_close(ring_name_, ring_open_seq_, to_epoch_ns(start_),
+               to_epoch_ns(end));
   if (node_ == kNone) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
   Node& n = *static_cast<Node*>(node_ptr_);
-  n.total_ns.fetch_add(
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-              .count()),
-      std::memory_order_relaxed);
+  const auto elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  n.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
   n.count.fetch_add(1, std::memory_order_relaxed);
+  if (n.hist != nullptr)
+    n.hist->observe(static_cast<double>(elapsed_ns) / 1e6);
   if (rss_before_kb_ >= 0) {
     const long long after = read_rss_kb();
     if (after >= 0)
@@ -159,7 +180,7 @@ TraceSpan::~TraceSpan() {
 }
 
 double TraceSpan::elapsed_ms() const noexcept {
-  if (node_ == kNone) return 0;
+  if (node_ == kNone && ring_name_ == nullptr) return 0;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }

@@ -13,10 +13,17 @@
 // current span; spans opened on ThreadPool workers attach under the root.
 //
 // Cost model: when tracing is disabled (the default), constructing a span
-// is one relaxed atomic load and a branch — no clock read, no allocation,
+// is two relaxed atomic loads and a branch — no clock read, no allocation,
 // no lock. When enabled, open/close takes a short mutex-protected child
 // lookup plus two steady_clock reads; optional RSS tracking adds a
 // /proc/self/statm read per open/close and is off unless requested.
+//
+// Observability v2: every TraceSpan additionally (a) feeds the per-phase
+// duration histogram `tveg.obs.phase_ms.<name>` (the bench-gate attribution
+// source) when tracing is enabled, and (b) records an individual span into
+// the calling thread's ring (obs/span.hpp) when span tracing is enabled —
+// so the same call sites serve the aggregate tree, the per-phase
+// percentiles, and the Perfetto export.
 #pragma once
 
 #include <chrono>
@@ -58,6 +65,8 @@ class TraceSpan {
   std::size_t prev_ = kNone;
   std::chrono::steady_clock::time_point start_;
   long long rss_before_kb_ = -1;
+  const char* ring_name_ = nullptr;  ///< non-null while a ring span is open
+  std::uint64_t ring_open_seq_ = 0;
 };
 
 /// The natural name at pipeline call sites ("time this phase").

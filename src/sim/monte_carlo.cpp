@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
@@ -195,6 +196,7 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
   std::atomic<std::size_t> total_tx_faults{0};
 
   auto trial = [&](std::size_t i) {
+    obs::ScopedSpan trial_span("mc_trial");
     // Per-trial stream via double-avalanche derivation: XOR with a multiple
     // of the golden gamma (the old scheme) let two scenario seeds share
     // trial streams at shifted indices.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace tveg::support {
@@ -53,6 +54,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       registry.histogram("tveg.pool.queue_wait_us");
   obs::Counter& busy_metric = registry.counter(
       "tveg.pool.worker" + std::to_string(worker_index) + ".busy_us");
+  obs::set_current_thread_name("pool-worker-" +
+                               std::to_string(worker_index));
   for (;;) {
     Task task;
     {
@@ -72,10 +75,19 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     if (task.timed) {
       const auto start = Clock::now();
       wait_metric.observe(us_between(task.enqueued, start));
-      try {
-        task.fn();
-      } catch (...) {
-        dropped_metric.add(1);
+      // Span tracing: the enqueue→dequeue gap lands on this worker's queue
+      // track; the task body itself is a pool_task span on the worker's own
+      // track (phase TraceSpans inside the body nest under it).
+      if (obs::span_tracing())
+        obs::span_queue_wait(obs::to_epoch_ns(task.enqueued),
+                             obs::to_epoch_ns(start));
+      {
+        obs::ScopedSpan task_span("pool_task");
+        try {
+          task.fn();
+        } catch (...) {
+          dropped_metric.add(1);
+        }
       }
       busy_metric.add(
           static_cast<std::uint64_t>(us_between(start, Clock::now())));
@@ -94,7 +106,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
     std::lock_guard lock(mutex_);
     if (stopping_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
-    const bool timed = obs::enabled();
+    const bool timed = obs::enabled() || obs::span_tracing();
     const auto now = timed ? Clock::now() : Clock::time_point{};
     tasks_.push({std::move(fn), now, timed});
   }
@@ -145,7 +157,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = begin; i < end; ++i) body(i);
       return;
     }
-    const bool timed = obs::enabled();
+    const bool timed = obs::enabled() || obs::span_tracing();
     const auto now = timed ? Clock::now() : Clock::time_point{};
     for (std::size_t chunk = 1; chunk < chunks; ++chunk)
       tasks_.push({[run_chunk, chunk] { run_chunk(chunk); }, now, timed});

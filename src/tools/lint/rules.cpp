@@ -278,6 +278,47 @@ void check_unchecked_result(const std::string& path, const Views& views,
   }
 }
 
+/// Observability-v2 invariant: span and flight-recorder code stays off the
+/// wall clock. Span files (path contains "span") may use steady_clock —
+/// trace timestamps must be monotone — but none of the wall clocks;
+/// flight-recorder files (path contains "flight_record") must not touch
+/// <chrono> at all: their dumps are byte-stable for a fixed seed, so
+/// recorded payloads carry logical sequence numbers only.
+void check_no_wall_clock_in_spans(const std::string& path, const Views& views,
+                                  const std::vector<std::size_t>& starts,
+                                  const std::string& raw,
+                                  std::vector<Finding>& findings) {
+  const std::string p = normalized(path);
+  const bool span_scope = p.find("span") != std::string::npos;
+  const bool flight_scope = p.find("flight_record") != std::string::npos;
+  if (!span_scope && !flight_scope) return;
+  static const std::regex wall(
+      R"(\bsystem_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\bstd::time\s*\(|\blocaltime\b|\bgmtime\b|\bstrftime\b|(?:^|[^\w.:>])clock\s*\()",
+      std::regex::multiline);
+  static const std::regex any_clock(
+      R"(\bsteady_clock\b|\bchrono\b|::\s*now\s*\()", std::regex::multiline);
+  const auto scan = [&](const std::regex& re, const char* message) {
+    for (auto it = std::sregex_iterator(views.tokens.begin(),
+                                        views.tokens.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string matched = it->str();
+      std::size_t off = static_cast<std::size_t>(it->position(0));
+      const std::size_t skip = matched.find_first_not_of(" \t(,;=");
+      if (skip != std::string::npos) off += skip;
+      const long line = line_of(starts, off);
+      if (suppressed(raw, starts, line, "no-wall-clock-in-spans")) continue;
+      findings.push_back({path, line, "no-wall-clock-in-spans", message});
+    }
+  };
+  scan(wall,
+       "wall-clock read in span-tracing code; span timestamps must come "
+       "from steady_clock so exported traces are monotone");
+  if (flight_scope)
+    scan(any_clock,
+         "clock use in flight-recorder code; dumps are byte-stable for a "
+         "fixed seed, so events carry logical sequence numbers only");
+}
+
 std::string read_file(const std::string& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   ok = static_cast<bool>(in);
@@ -298,8 +339,9 @@ std::string shell_quote(const std::string& s) {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "no-unseeded-rng", "no-wall-clock",        "unchecked-result",
-      "metrics-key",     "no-float",             "header-not-self-contained",
+      "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
+      "metrics-key",     "no-float",               "header-not-self-contained",
+      "no-wall-clock-in-spans",
   };
   return ids;
 }
@@ -328,6 +370,7 @@ std::vector<Finding> lint_source(const std::string& path,
   }
   check_metrics_keys(path, views, starts, text, findings);
   check_unchecked_result(path, views, text, findings);
+  check_no_wall_clock_in_spans(path, views, starts, text, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

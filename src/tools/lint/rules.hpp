@@ -22,6 +22,14 @@
 //                            and the Eq. 14–17 NLP accumulations require
 //                            double precision; a single float truncation
 //                            shifts breakpoint comparisons.
+//   no-wall-clock-in-spans   span-tracing files (path contains "span") may
+//                            read steady_clock but never a wall clock —
+//                            exported traces must be monotone and
+//                            machine-local; flight-recorder files (path
+//                            contains "flight_record") may not touch
+//                            <chrono> at all, because crash dumps are
+//                            byte-stable for a fixed seed and therefore
+//                            carry logical sequence numbers only.
 //   header-not-self-contained  every .hpp must compile in isolation
 //                            (include-what-you-use-lite, behind
 //                            Options::check_headers since it shells out to

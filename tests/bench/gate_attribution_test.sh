@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Pins the bench gate's regression-attribution path: synthetic baseline and
+# current BENCH_*.json pairs (one bench regressed, one phase blown up) are fed
+# through scripts/bench_gate.sh --skip-run via the BASELINE_DIR/WORK_DIR
+# overrides, and the failure output must name the regressing benchmark AND
+# the slowest-regressing phase with its delta. A second, clean pair must pass.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+GATE="${REPO_ROOT}/scripts/bench_gate.sh"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+BASE="${TMP}/baselines"
+WORK="${TMP}/work"
+mkdir -p "${BASE}" "${WORK}"
+
+# Writes one BENCH_<bench>.json. Args: dir bench steiner_ms aux_ms solve_ms
+write_report() {
+  local dir="$1" bench="$2" steiner_ms="$3" aux_ms="$4" solve_ms="$5"
+  python3 - "$dir" "$bench" "$steiner_ms" "$aux_ms" "$solve_ms" <<'PYEOF'
+import json
+import sys
+
+out_dir, bench = sys.argv[1], sys.argv[2]
+steiner_ms, aux_ms, solve_ms = (float(a) for a in sys.argv[3:6])
+
+timings = [{"name": f"BM_{bench}/8", "real_ms": solve_ms}]
+if bench == "micro_steiner":
+    # The gate's pipeline acceptance bar needs this pair; keep it at a
+    # comfortable 4x so only the deliberate regression below can fail.
+    timings += [
+        {"name": "BM_EedcbPipelineSerial/20", "real_ms": 4000.0},
+        {"name": "BM_EedcbPipelineCachedPool/20", "real_ms": 1000.0},
+    ]
+doc = {
+    "timings": timings,
+    "phases": [
+        {"name": "steiner", "count": 8, "wall_ms": steiner_ms,
+         "p50_ms": steiner_ms / 10, "p95_ms": steiner_ms / 5,
+         "p99_ms": steiner_ms / 4},
+        {"name": "aux_graph", "count": 8, "wall_ms": aux_ms},
+        {"name": "dts_build", "count": 1, "wall_ms": 2.0},
+    ],
+}
+with open(f"{out_dir}/BENCH_{bench}.json", "w") as f:
+    json.dump(doc, f, indent=1)
+PYEOF
+}
+
+#  baseline: every bench at nominal cost
+for bench in micro_dts micro_steiner online_vs_offline; do
+  write_report "${BASE}" "${bench}" 50 30 100
+done
+
+# --- case 1: regression, blamed on the 'steiner' phase --------------------
+# micro_steiner's wall time doubles and its steiner phase grows 50 -> 140 ms
+# (aux_graph only 30 -> 40), so the gate must fail and finger 'steiner'.
+write_report "${WORK}" micro_dts 50 30 100
+write_report "${WORK}" micro_steiner 140 40 200
+write_report "${WORK}" online_vs_offline 50 30 100
+
+out="$(BASELINE_DIR="${BASE}" WORK_DIR="${WORK}" "${GATE}" --skip-run 2>&1)" \
+  && { echo "FAIL: gate passed on a 2x regression"; echo "${out}"; exit 1; }
+
+echo "${out}" | grep -q "micro_steiner: BM_micro_steiner/8 regressed" || {
+  echo "FAIL: regressed benchmark not named"; echo "${out}"; exit 1; }
+echo "${out}" | grep -q "slowest-regressing phase is 'steiner'" || {
+  echo "FAIL: 'steiner' not blamed"; echo "${out}"; exit 1; }
+echo "${out}" | grep -q "steiner (+90.00 ms)" || {
+  echo "FAIL: phase delta missing from the blame line"; echo "${out}"; exit 1; }
+
+# --- case 2: same timings as baseline must pass ---------------------------
+for bench in micro_dts micro_steiner online_vs_offline; do
+  write_report "${WORK}" "${bench}" 50 30 100
+done
+out="$(BASELINE_DIR="${BASE}" WORK_DIR="${WORK}" "${GATE}" --skip-run 2>&1)" \
+  || { echo "FAIL: gate failed on identical timings"; echo "${out}"; exit 1; }
+echo "${out}" | grep -q "bench gate passed" || {
+  echo "FAIL: pass banner missing"; echo "${out}"; exit 1; }
+
+# --- case 3: regression with NO phase growth names the fallback -----------
+write_report "${WORK}" micro_steiner 50 30 200
+out="$(BASELINE_DIR="${BASE}" WORK_DIR="${WORK}" "${GATE}" --skip-run 2>&1)" \
+  && { echo "FAIL: gate passed on a phase-free regression"; exit 1; }
+echo "${out}" | grep -q "no phase grew vs baseline" || {
+  echo "FAIL: phase-free fallback message missing"; echo "${out}"; exit 1; }
+
+echo "gate attribution test passed"

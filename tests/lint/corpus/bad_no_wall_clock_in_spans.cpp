@@ -1,0 +1,16 @@
+// tveg-lint fixture: the filename contains "span", so the wall-clock read
+// below fires BOTH the base no-wall-clock rule and the scoped
+// no-wall-clock-in-spans variant (two findings, same line). Never compiled —
+// only scanned by the lint tests and corpus ctests.
+#include <chrono>
+
+namespace tveg::fixture {
+
+long long span_begin_wall_ns() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace tveg::fixture

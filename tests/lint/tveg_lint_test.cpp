@@ -135,10 +135,46 @@ TEST(TvegLint, ConcatenatedMetricKeyPrefixPasses) {
   EXPECT_TRUE(lint_source("d.cpp", dynamic).empty());
 }
 
+TEST(TvegLint, SpanFixturePinsBothWallClockRules) {
+  // The fixture's filename contains "span", so its system_clock read is hit
+  // by the base rule AND the scoped variant, on the same line.
+  const auto findings =
+      lint_source("bad_no_wall_clock_in_spans.cpp",
+                  read_corpus("bad_no_wall_clock_in_spans.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "no-wall-clock");
+  EXPECT_EQ(findings[0].line, 10);
+  EXPECT_EQ(findings[1].rule, "no-wall-clock-in-spans");
+  EXPECT_EQ(findings[1].line, 10);
+}
+
+TEST(TvegLint, SteadyClockIsAllowedInSpanFilesOnly) {
+  // Span-scoped files may read steady_clock (trace timestamps must be
+  // monotone)...
+  EXPECT_TRUE(lint_source("src/obs/span.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  // ...but flight-recorder files must not touch <chrono> at all: dumps are
+  // byte-stable, so payloads carry logical sequence numbers only.
+  const auto findings =
+      lint_source("src/obs/flight_recorder.cpp",
+                  "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_FALSE(findings.empty());
+  for (const auto& f : findings)
+    EXPECT_EQ(f.rule, "no-wall-clock-in-spans") << to_string(f);
+}
+
+TEST(TvegLint, FlightRecorderScopeHonorsSuppressions) {
+  const std::string ok =
+      "#include <chrono>  // tveg-lint: allow(no-wall-clock-in-spans)\n";
+  EXPECT_TRUE(lint_source("src/obs/flight_recorder.hpp", ok).empty());
+}
+
 TEST(TvegLint, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
-      "no-unseeded-rng", "no-wall-clock",        "unchecked-result",
-      "metrics-key",     "no-float",             "header-not-self-contained",
+      "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
+      "metrics-key",     "no-float",               "header-not-self-contained",
+      "no-wall-clock-in-spans",
   };
   EXPECT_EQ(rule_ids(), expected);
 }
