@@ -13,9 +13,14 @@
 #   ubsan  suite under UndefinedBehaviorSanitizer
 #   tsan   suite under ThreadSanitizer — the ThreadPool / Monte-Carlo /
 #          parallel-solve stress tests provoke the contention TSan needs
+#   soak   resource-governance soak: governed multi-worker sweeps through
+#          the real CLI across budget ladders (including a zero budget that
+#          sheds every request), both shed policies and a tight cache
+#          budget, plus the CancelStorm suite re-run on the TSan build
 #
 # Usage: scripts/ci.sh [--fast] [--bench]
-#   --fast   plain build + ctest only (skips obs, lint and sanitizer tiers)
+#   --fast   plain build + ctest only (skips obs, lint, sanitizer and soak
+#            tiers)
 #   --bench  additionally run scripts/bench_gate.sh (bench regression gate)
 set -euo pipefail
 
@@ -127,6 +132,48 @@ PYEOF
         -R 'Perfetto|Span|Overhead|FlightRecorder'
 }
 
+drive_soak() {
+  # Governance soak on the plain build: the same trace swept governed under
+  # a ladder of per-request budgets — unlimited, tight, and zero (which must
+  # shed every request yet still exit 0 under the degrade policy) — with a
+  # watchdog armed and the cache byte-budgeted, under both shed policies.
+  # Then the cancellation-storm suite re-runs on the TSan build, where the
+  # cross-thread cancel/watchdog traffic is instrumented.
+  local build_dir="$1" tsan_dir="$2"
+  local tmedb="${build_dir}/src/cli/tmedb"
+  local work
+  work="$(mktemp -d)"
+  echo "==== [soak] governed sweeps across budget ladders ===="
+  "${tmedb}" generate --kind snapshots --nodes 12 --horizon 2000 --seed 7 \
+      --out "${work}/soak.trace"
+  for budget in -1 50 0; do
+    "${tmedb}" sweep "${work}/soak.trace" --from 1000 --to 2000 --step 500 \
+        --threads 4 --request-budget-ms "${budget}" --stall-ms 30000 \
+        --cache-budget-mb 1 --shed-policy degrade \
+        > "${work}/sweep-${budget}.out"
+  done
+  # Zero budget + degrade: every EEDCB cell fell back — the * marker from
+  # the fallback ladder must appear.
+  grep -q '\*' "${work}/sweep-0.out" || {
+    echo "zero-budget governed sweep produced no degraded cells"; exit 1; }
+  # Zero budget + error policy: requests fail ('!') instead of degrading,
+  # and the sweep still exits cleanly — isolation, not abort.
+  "${tmedb}" sweep "${work}/soak.trace" --from 1000 --to 2000 --step 500 \
+      --threads 4 --request-budget-ms 0 --shed-policy error \
+      > "${work}/sweep-error.out"
+  grep -q '!' "${work}/sweep-error.out" || {
+    echo "zero-budget error-policy sweep reported no failed requests"; exit 1; }
+  # Admission bound: with one slot, later requests are shed to GREED.
+  "${tmedb}" run "${work}/soak.trace" --algorithm EEDCB --deadline 1500 \
+      --threads 4 --max-inflight 1 --request-budget-ms 5000 \
+      > "${work}/run-governed.out"
+  grep -q 'solver rung' "${work}/run-governed.out" || {
+    echo "governed run did not report its solver rung"; exit 1; }
+  rm -rf "${work}"
+  echo "==== [soak] CancelStorm suite on the TSan build ===="
+  ctest --test-dir "${tsan_dir}" --output-on-failure -R 'CancelStorm'
+}
+
 run_suite "plain" "${REPO_ROOT}/build-ci" -DTVEG_WERROR=ON
 
 if [[ "${FAST}" -eq 0 ]]; then
@@ -137,6 +184,7 @@ if [[ "${FAST}" -eq 0 ]]; then
   drive_corpus "${REPO_ROOT}/build-asan"
   run_suite "ubsan" "${REPO_ROOT}/build-ubsan" -DTVEG_SANITIZE=undefined
   run_suite "tsan" "${REPO_ROOT}/build-tsan" -DTVEG_SANITIZE=thread
+  drive_soak "${REPO_ROOT}/build-ci" "${REPO_ROOT}/build-tsan"
 fi
 
 if [[ "${BENCH}" -eq 1 ]]; then

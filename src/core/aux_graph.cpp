@@ -70,12 +70,19 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
         tveg.discrete_cost_set(static_cast<NodeId>(slots[s].i), slots[s].t);
   };
   if (options.pool != nullptr && slots.size() > 1) {
-    options.pool->parallel_for(0, slots.size(), fill);
+    options.pool->parallel_for(0, slots.size(), [&](std::size_t s) {
+      options.budget.check("aux_dcs");
+      fill(s);
+    }, options.budget.cancel);
     static obs::Counter& par_tasks =
         obs::MetricsRegistry::global().counter("tveg.parallel.aux_dcs_tasks");
     par_tasks.add(slots.size());
   } else {
-    for (std::size_t s = 0; s < slots.size(); ++s) fill(s);
+    support::Budget::Poller poller(options.budget, "aux_dcs", /*stride=*/16);
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      poller.poll();
+      fill(s);
+    }
   }
 
   for (std::size_t s = 0; s < slots.size(); ++s) {

@@ -23,6 +23,7 @@
 #include "core/tveg.hpp"
 #include "graph/digraph.hpp"
 #include "graph/steiner.hpp"
+#include "support/budget.hpp"
 #include "support/thread_pool.hpp"
 #include "tvg/dts.hpp"
 
@@ -43,6 +44,9 @@ class AuxGraph {
     /// Vertex ids are assigned in a serial pass either way, so parallel and
     /// serial builds produce byte-identical graphs. nullptr = serial.
     support::ThreadPool* pool = nullptr;
+    /// Cooperative solve budget, polled (strided) across the DCS precompute
+    /// in both serial and pooled builds. Default: unlimited.
+    support::Budget budget;
   };
 
   /// Builds the auxiliary graph for `instance` over `dts`.

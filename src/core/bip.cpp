@@ -39,7 +39,7 @@ SchedulerResult run_bip(const TmedbInstance& instance,
 SchedulerResult run_bip(const TmedbInstance& instance,
                         const DiscreteTimeSet& dts, const BipOptions& options) {
   instance.validate();
-  options.deadline.check("bip");
+  options.budget.check("bip");
   TVEG_REQUIRE(instance.targets.empty(), "temporal BIP is broadcast-only");
   const Tveg& tveg = *instance.tveg;
   const Time tau = tveg.latency();
@@ -63,7 +63,7 @@ SchedulerResult run_bip(const TmedbInstance& instance,
   result.stats.dts_points = dts.total_points();
 
   while (uninformed > 0) {
-    options.deadline.check("bip");
+    options.budget.check("bip");
     // Find the cheapest incremental move: raise slot s to level l (>
     // paid_level) such that at least one new node is covered. A fresh slot
     // is the paid_level = -1 case of the same scan.

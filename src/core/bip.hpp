@@ -14,7 +14,7 @@
 #pragma once
 
 #include "core/eedcb.hpp"
-#include "support/deadline.hpp"
+#include "support/budget.hpp"
 #include "tvg/dts.hpp"
 
 namespace tveg::core {
@@ -22,9 +22,10 @@ namespace tveg::core {
 /// Options for temporal BIP.
 struct BipOptions {
   DtsOptions dts;
-  /// Wall-clock budget, polled once per grown node; expiry raises
-  /// support::TimeoutError. Default: unlimited.
-  support::Deadline deadline;
+  /// Unified solve budget, polled once per grown node; expiry raises
+  /// support::TimeoutError, a fired cancel token support::CancelledError.
+  /// Default: unlimited, non-cancellable.
+  support::Budget budget;
 };
 
 /// Runs temporal BIP on `instance` (broadcast-only, like the baselines).

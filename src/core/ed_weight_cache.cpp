@@ -19,9 +19,37 @@ EdWeightCache::~EdWeightCache() {
   static obs::Counter& hits = registry.counter("tveg.cache.hits");
   static obs::Counter& misses = registry.counter("tveg.cache.misses");
   static obs::Counter& evictions = registry.counter("tveg.cache.evictions");
+  static obs::Counter& pressure =
+      registry.counter("tveg.mem.pressure_evictions");
   hits.add(hits_.load(std::memory_order_relaxed));
   misses.add(misses_.load(std::memory_order_relaxed));
   evictions.add(evictions_.load(std::memory_order_relaxed));
+  pressure.add(pressure_evictions_.load(std::memory_order_relaxed));
+  // Return this cache's footprint to the shared ledger before dying —
+  // a governed process's MemBudget must not leak bytes across cache
+  // lifetimes (Workbench rebuilds caches per view).
+  if (options_.mem != nullptr)
+    options_.mem->release(
+        static_cast<std::size_t>(bytes_.load(std::memory_order_relaxed)));
+}
+
+void EdWeightCache::evict_shard(Shard& shard, std::size_t shard_index,
+                                bool pressure) const {
+  const std::size_t dropped = shard.map.size();
+  if (dropped == 0) return;
+  const std::size_t freed = dropped * kApproxEntryBytes;
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  if (pressure) pressure_evictions_.fetch_add(dropped,
+                                              std::memory_order_relaxed);
+  obs::flight_recorder().record(obs::FlightEventKind::kCacheEviction, dropped,
+                                shard_index,
+                                pressure ? "mem_pressure" : "entry_cap");
+  shard.map.clear();
+  bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  if (options_.mem != nullptr) options_.mem->release(freed);
+  static obs::Gauge& resident =
+      obs::MetricsRegistry::global().gauge("tveg.mem.cache_bytes");
+  resident.set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
 }
 
 const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
@@ -55,13 +83,21 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   entry.weight = entry.ed->min_cost_for(tveg.radio().epsilon);
   std::lock_guard lock(shard.mutex);
   if (options_.max_entries > 0 &&
-      shard.map.size() >= (options_.max_entries + kShards - 1) / kShards) {
-    evictions_.fetch_add(shard.map.size(), std::memory_order_relaxed);
-    obs::flight_recorder().record(obs::FlightEventKind::kCacheEviction,
-                                  shard.map.size(), shard_index);
-    shard.map.clear();
-  }
+      shard.map.size() >= (options_.max_entries + kShards - 1) / kShards)
+    evict_shard(shard, shard_index, /*pressure=*/false);
+  // Byte/ledger pressure: evicting the shard being inserted into frees the
+  // most likely-stale entries reachable without taking a second lock, and
+  // handed-out shared_ptrs keep in-flight ED-functions alive regardless.
+  const bool over_local =
+      options_.max_bytes > 0 &&
+      bytes_.load(std::memory_order_relaxed) + kApproxEntryBytes >
+          options_.max_bytes;
+  const bool over_shared = options_.mem != nullptr && options_.mem->over();
+  if (over_local || over_shared)
+    evict_shard(shard, shard_index, /*pressure=*/true);
   shard.map.emplace(key, entry);
+  bytes_.fetch_add(kApproxEntryBytes, std::memory_order_relaxed);
+  if (options_.mem != nullptr) options_.mem->charge(kApproxEntryBytes);
   return entry;
 }
 
@@ -81,13 +117,18 @@ EdWeightCache::Stats EdWeightCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.pressure_evictions = pressure_evictions_.load(std::memory_order_relaxed);
+  s.approx_bytes = bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
 void EdWeightCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard lock(shard.mutex);
+    const std::size_t freed = shard.map.size() * kApproxEntryBytes;
     shard.map.clear();
+    bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    if (options_.mem != nullptr) options_.mem->release(freed);
   }
 }
 

@@ -30,6 +30,7 @@
 #include <unordered_map>
 
 #include "channel/ed_function.hpp"
+#include "support/mem_budget.hpp"
 #include "tvg/types.hpp"
 
 namespace tveg::core {
@@ -45,7 +46,23 @@ class EdWeightCache {
     /// a time — cheap, and correctness is unaffected since entries are pure
     /// memos). 0 means unbounded.
     std::size_t max_entries = 1 << 20;
+    /// Soft byte bound on this cache's resident footprint (approximated at
+    /// kApproxEntryBytes per entry); exceeding it evicts the shard being
+    /// inserted into. 0 means unbounded.
+    std::size_t max_bytes = 0;
+    /// Optional shared memory ledger (Budget.mem): every insert charges it
+    /// and every eviction releases it, so several caches can be governed by
+    /// one aggregate budget — when the ledger is over its limit, inserts
+    /// evict under pressure exactly as with max_bytes. Must outlive the
+    /// cache; nullptr = no shared accounting.
+    support::MemBudget* mem = nullptr;
   };
+
+  /// Approximate resident bytes per entry: map node + Entry + shared_ptr
+  /// control block + the (small, vtable + a few doubles) EdFunction object.
+  /// Deliberately a round, stable constant so byte budgets translate
+  /// predictably into entry counts.
+  static constexpr std::size_t kApproxEntryBytes = 160;
 
   explicit EdWeightCache(Options options);
   EdWeightCache() : EdWeightCache(Options{}) {}
@@ -69,6 +86,11 @@ class EdWeightCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;  ///< entries dropped by capacity pressure
+    /// Entries dropped specifically by byte/ledger pressure (also counted
+    /// in `evictions`).
+    std::uint64_t pressure_evictions = 0;
+    /// Approximate current resident footprint (entries × kApproxEntryBytes).
+    std::uint64_t approx_bytes = 0;
   };
   Stats stats() const;
 
@@ -88,11 +110,21 @@ class EdWeightCache {
 
   const Entry lookup(const Tveg& tveg, std::size_t e, Time t) const;
 
+  /// Clears `shard` (already locked by the caller), returning its bytes to
+  /// the ledger and counting the eviction; `pressure` marks byte-driven
+  /// evictions apart from entry-count ones.
+  void evict_shard(Shard& shard, std::size_t shard_index,
+                   bool pressure) const;
+
   Options options_;
   mutable Shard shards_[kShards];
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> pressure_evictions_{0};
+  /// Approximate resident bytes (kApproxEntryBytes per entry), mirrored
+  /// into options_.mem when attached.
+  mutable std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace tveg::core

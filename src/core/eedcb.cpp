@@ -31,13 +31,14 @@ SchedulerResult run_eedcb(const TmedbInstance& instance,
                           const DiscreteTimeSet& dts,
                           const EedcbOptions& options) {
   instance.validate();
-  options.deadline.check("eedcb");
+  options.budget.check("eedcb");
 
   const auto aux_start = Clock::now();
-  const AuxGraph aux(
-      instance, dts,
-      {.power_expansion = options.power_expansion, .pool = options.pool});
-  options.deadline.check("aux_graph");
+  const AuxGraph aux(instance, dts,
+                     {.power_expansion = options.power_expansion,
+                      .pool = options.pool,
+                      .budget = options.budget});
+  options.budget.check("aux_graph");
   const double aux_ms = ms_since(aux_start);
 
   graph::SteinerSolver solver(aux.digraph());
@@ -52,7 +53,7 @@ SchedulerResult run_eedcb_on_aux(const TmedbInstance& instance,
                                  graph::SteinerSolver& solver,
                                  const EedcbOptions& options) {
   instance.validate();
-  options.deadline.check("eedcb");
+  options.budget.check("eedcb");
 
   SchedulerResult result;
   result.stats.dts_points = dts.total_points();
@@ -62,7 +63,7 @@ SchedulerResult run_eedcb_on_aux(const TmedbInstance& instance,
   const graph::VertexId source = aux.source_vertex_for(instance.source);
   const std::vector<graph::VertexId> terminals = aux.terminals_for(instance);
 
-  solver.set_deadline(options.deadline);
+  solver.set_budget(options.budget);
   solver.set_pool(options.pool);
   graph::SteinerResult tree;
   {

@@ -11,7 +11,7 @@
 
 #include "core/aux_graph.hpp"
 #include "core/schedule.hpp"
-#include "support/deadline.hpp"
+#include "support/budget.hpp"
 #include "tvg/dts.hpp"
 
 namespace tveg::core {
@@ -34,11 +34,14 @@ struct EedcbOptions {
   bool power_expansion = true;
   /// Local-improvement post-pass on the extracted schedule (core/prune.hpp).
   bool prune = true;
-  /// Wall-clock budget, polled between pipeline phases and inside the
-  /// Steiner search; expiry raises support::TimeoutError. The fallback
-  /// ladder (fault/degrade.hpp) catches it and descends to a cheaper
-  /// scheduler. Default: unlimited.
-  support::Deadline deadline;
+  /// Unified solve budget (deadline + cancel token + memory ledger),
+  /// polled between pipeline phases and inside the Steiner search; expiry
+  /// raises support::TimeoutError, a fired token support::CancelledError.
+  /// The fallback ladder (fault/degrade.hpp) catches the former and
+  /// descends to a cheaper scheduler; the governance layer (fault/govern.hpp)
+  /// catches both per request. Implicitly constructible from a bare
+  /// Deadline. Default: unlimited, non-cancellable.
+  support::Budget budget;
   /// Optional worker pool for aux-graph construction and the Steiner
   /// solver's parallel phases. Schedules are byte-identical with or without
   /// a pool (tests/diff pins this); nullptr = fully serial.

@@ -146,6 +146,7 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
   const channel::RadioParams& radio = tveg.radio();
 
   std::vector<Cost> w;
+  options.budget.check("energy_allocation");
   switch (options.solver) {
     case AllocationSolver::kCoordinateDescent: {
       const nlp::AllocationResult r = nlp::allocate_coordinate_descent(
@@ -161,8 +162,10 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
       // Warm start at the independent allocation: feasible and O(1) scaled.
       const std::vector<Cost> w0 = nlp::independent_allocation(
           txs.size(), constraints, eps, radio.w_min, radio.w_max);
+      nlp::AugmentedLagrangianOptions al;
+      al.budget = options.budget;
       const nlp::NlpResult r =
-          solve_augmented_lagrangian(problem, problem.from_costs(w0));
+          solve_augmented_lagrangian(problem, problem.from_costs(w0), al);
       outcome.feasible = r.feasible;
       outcome.solver_passes = r.outer_iterations;
       w = problem.to_costs(r.w);
@@ -184,7 +187,9 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
     std::vector<Cost> w0 = nlp::independent_allocation(
         txs.size(), constraints, eps, radio.w_min, radio.w_max);
     nlp::AugmentedLagrangianOptions al;
+    al.budget = options.budget;
     for (std::size_t attempt = 0; attempt < options.max_retries; ++attempt) {
+      options.budget.check("energy_allocation_retry");
       ++outcome.retries;
       retries_metric.add(1);
       al.initial_penalty *= 4.0;  // perturbed multipliers: harder push

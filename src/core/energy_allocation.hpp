@@ -7,6 +7,7 @@
 
 #include "core/schedule.hpp"
 #include "nlp/coverage.hpp"
+#include "support/budget.hpp"
 
 namespace tveg::core {
 
@@ -31,6 +32,9 @@ struct AllocationOptions {
   /// [1, 1 + p]); the initial penalty also grows 4× per retry.
   double retry_perturbation = 0.25;
   std::uint64_t retry_seed = 1;
+  /// Cooperative solve budget: checked between solver attempts and threaded
+  /// into the augmented-Lagrangian inner loop. Default: unlimited.
+  support::Budget budget;
 };
 
 /// Result of an allocation.

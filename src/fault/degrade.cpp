@@ -31,16 +31,16 @@ core::SchedulerResult run_rung(SolverRung rung,
                                const core::TmedbInstance& instance,
                                const DiscreteTimeSet& dts,
                                const RobustSolveOptions& options,
-                               const support::Deadline& deadline) {
+                               const support::Budget& budget) {
   switch (rung) {
     case SolverRung::kEedcb: {
       core::EedcbOptions eedcb = options.eedcb;
-      eedcb.deadline = deadline;
+      eedcb.budget = budget;
       return core::run_eedcb(instance, dts, eedcb);
     }
     case SolverRung::kBip: {
       core::BipOptions bip;
-      bip.deadline = deadline;
+      bip.budget = budget;
       return core::run_bip(instance, dts, bip);
     }
     case SolverRung::kGreed: {
@@ -74,11 +74,15 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
   solves.add(1);
 
   // One budget for the whole ladder: a rung that burns the clock leaves
-  // less for the next, and the final rung ignores what is left entirely.
+  // less for the next, and the final rung ignores what is left of the
+  // deadline (but still honors the cancel token — cancellation is "stop",
+  // not "try cheaper", and propagates as CancelledError).
   const support::Deadline deadline = options.budget_ms < 0
                                          ? support::Deadline()
                                          : support::Deadline::after_ms(
                                                options.budget_ms);
+  const support::Budget budget(deadline, options.cancel);
+  const support::Budget last_budget(support::Deadline(), options.cancel);
 
   using obs::FlightEventKind;
   obs::flight_recorder().record(FlightEventKind::kSolveStart,
@@ -87,17 +91,46 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
                                     options.budget_ms < 0 ? 0
                                                           : options.budget_ms));
 
+  static obs::Counter& skips = registry.counter("tveg.fault.solve.rung_skips");
+
   RobustSolveResult out;
   SolverRung rung = options.start;
   for (;;) {
     const bool last = rung == SolverRung::kGreed;
+    // Short-circuit a rung whose budget is already spent: entering it would
+    // only burn scheduler setup (DTS walks, aux-graph allocation) before the
+    // first poll threw anyway. The descent record is identical to the one a
+    // first-poll timeout would have produced, so ladder observers (tests,
+    // flight dumps) see the same shape either way — plus a rung_skipped
+    // marker saying no solver work ran at all.
+    if (!last && deadline.expired()) {
+      obs::flight_recorder().record(FlightEventKind::kDeadlineExpired,
+                                    static_cast<std::uint64_t>(rung), 0,
+                                    rung_name(rung));
+      obs::flight_recorder().record(FlightEventKind::kRungSkipped,
+                                    static_cast<std::uint64_t>(rung), 0,
+                                    rung_name(rung));
+      skips.add(1);
+      Error skipped{ErrorCode::kTimeout,
+                    std::string(rung_name(rung)) +
+                        " skipped: ladder budget already expired",
+                    -1};
+      count_descent(skipped);
+      obs::flight_recorder().record(
+          FlightEventKind::kRungDemoted, static_cast<std::uint64_t>(rung),
+          static_cast<std::uint64_t>(skipped.code), rung_name(rung));
+      obs::flight_dump("fallback-ladder demotion");
+      out.descents.push_back(std::move(skipped));
+      rung = rung == SolverRung::kEedcb ? SolverRung::kBip : SolverRung::kGreed;
+      continue;
+    }
     obs::flight_recorder().record(FlightEventKind::kRungStart,
                                   static_cast<std::uint64_t>(rung), 0,
                                   rung_name(rung));
     Error descent{ErrorCode::kInternal, "", -1};
     try {
       out.result = run_rung(rung, instance, dts, options,
-                            last ? support::Deadline() : deadline);
+                            last ? last_budget : budget);
       if (out.result.covered_all || last) {
         out.rung = rung;
         obs::flight_recorder().record(FlightEventKind::kRungSelected,
@@ -110,6 +143,8 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
                  std::string(rung_name(rung)) +
                      " left nodes uncovered within the deadline",
                  -1};
+    } catch (const support::CancelledError&) {
+      throw;  // cancellation aborts the ladder, it never descends
     } catch (const support::TimeoutError& e) {
       descent = {ErrorCode::kTimeout, e.what(), -1};
       obs::flight_recorder().record(FlightEventKind::kDeadlineExpired,

@@ -26,7 +26,7 @@
 
 #include "core/energy_allocation.hpp"
 #include "core/fr.hpp"
-#include "support/deadline.hpp"
+#include "support/budget.hpp"
 #include "support/result.hpp"
 #include "tvg/dts.hpp"
 
@@ -44,6 +44,11 @@ struct RobustSolveOptions {
   double budget_ms = -1;
   /// First rung to try (lower rungs are already their own fallback).
   SolverRung start = SolverRung::kEedcb;
+  /// Optional cancel token observed by every rung *including* the final
+  /// one: a fired token makes robust_solve throw support::CancelledError
+  /// instead of descending — cancellation means "stop", not "try cheaper".
+  /// Default: never cancelled.
+  support::CancelToken cancel;
   core::EedcbOptions eedcb;
 };
 

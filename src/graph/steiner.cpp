@@ -115,7 +115,7 @@ void SteinerSolver::note_run(const ShortestPaths& sp) {
 const ShortestPaths& SteinerSolver::forward_from(VertexId v) {
   auto it = forward_cache_.find(v);
   if (it == forward_cache_.end()) {
-    deadline_.check("steiner");
+    budget_.check("steiner");
     it = forward_cache_.emplace(v, dijkstra(g_, v)).first;
     note_run(it->second);
   }
@@ -168,7 +168,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
   //   (dist(v→u) + Σ k'-cheapest dist(u→terminal)) / k'.
   std::size_t remaining = want;
   while (remaining > 0) {
-    deadline_.check("steiner");
+    budget_.check("steiner");
 
     // One scan pass over a contiguous vertex range, keeping the first
     // (u, k') attaining the minimum density (strict <, u then k' ascending).
@@ -180,7 +180,12 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
     const auto scan_range = [&](VertexId lo, VertexId hi) {
       Best best;
       std::vector<double> dists;
+      // Strided budget poller: one relaxed cancel load per vertex, one clock
+      // read per stride. Constructed per invocation, so each pool chunk
+      // counts its own stride — pollers are not shared across threads.
+      support::Budget::Poller poller(budget_, "steiner_density_scan");
       for (VertexId u = lo; u < hi; ++u) {
+        poller.poll();
         const double to_u = sp.dist[static_cast<std::size_t>(u)];
         if (to_u == kInf) continue;
         dists.clear();
@@ -222,7 +227,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
         const auto lo = static_cast<VertexId>(c * per);
         const auto hi = static_cast<VertexId>(std::min(n, (c + 1) * per));
         local[c] = scan_range(lo, hi);
-      });
+      }, budget_.cancel);
       for (const Best& b : local)
         if (b.density < best.density) best = b;
     } else {
@@ -266,9 +271,9 @@ SteinerResult SteinerSolver::recursive_greedy(
     std::vector<ShortestPaths> runs(state.terminals.size());
     pool_->parallel_for(0, state.terminals.size(), [&](std::size_t k) {
       obs::ScopedSpan run_span("steiner_reverse_dijkstra");
-      deadline_.check("steiner");
+      budget_.check("steiner");
       runs[k] = dijkstra(reversed_, state.terminals[k]);
-    });
+    }, budget_.cancel);
     for (std::size_t k = 0; k < runs.size(); ++k) {
       note_run(runs[k]);
       dist_to_term_[k] = std::move(runs[k].dist);
@@ -277,8 +282,9 @@ SteinerResult SteinerSolver::recursive_greedy(
         "tveg.parallel.steiner_dijkstras");
     par_runs.add(state.terminals.size());
   } else {
+    support::Budget::Poller poller(budget_, "steiner", /*stride=*/16);
     for (std::size_t k = 0; k < state.terminals.size(); ++k) {
-      if ((k & 15u) == 0) deadline_.check("steiner");
+      poller.poll();
       ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
       note_run(sp);
       dist_to_term_[k] = std::move(sp.dist);
@@ -317,14 +323,19 @@ SteinerResult SteinerSolver::exact_small(
   if (pool_ != nullptr && n > 1) {
     pool_->parallel_for(0, n, [&](std::size_t v) {
       obs::ScopedSpan run_span("steiner_all_source");
+      budget_.check("steiner_all_source");
       sp[v] = dijkstra(g_, static_cast<VertexId>(v));
-    });
+    }, budget_.cancel);
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
         "tveg.parallel.steiner_dijkstras");
     par_runs.add(n);
   } else {
-    for (std::size_t v = 0; v < n; ++v)
+    support::Budget::Poller poller(budget_, "steiner_all_source",
+                                   /*stride=*/16);
+    for (std::size_t v = 0; v < n; ++v) {
+      poller.poll();
       sp[v] = dijkstra(g_, static_cast<VertexId>(v));
+    }
   }
   for (std::size_t v = 0; v < n; ++v) note_run(sp[v]);
   auto dist = [&](std::size_t v, std::size_t u) { return sp[v].dist[u]; };

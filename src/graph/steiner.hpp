@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
-#include "support/deadline.hpp"
+#include "support/budget.hpp"
 #include "support/thread_pool.hpp"
 
 namespace tveg::graph {
@@ -46,10 +46,11 @@ class SteinerSolver {
  public:
   explicit SteinerSolver(const Digraph& g);
 
-  /// Cooperative wall-clock budget: the heuristic solvers poll it between
-  /// shortest-path runs and density scans and throw support::TimeoutError
-  /// when it expires. Default: unlimited.
-  void set_deadline(support::Deadline deadline) { deadline_ = deadline; }
+  /// Cooperative solve budget: the heuristic solvers poll it between
+  /// shortest-path runs and (via strided pollers) inside the density scans,
+  /// throwing support::TimeoutError on expiry and support::CancelledError
+  /// when the budget's cancel token fires. Default: unlimited.
+  void set_budget(support::Budget budget) { budget_ = std::move(budget); }
 
   /// Optional worker pool for the embarrassingly parallel phases: the
   /// per-terminal reverse Dijkstras and the level-2 density scan of
@@ -101,7 +102,7 @@ class SteinerSolver {
   struct QueryScope;
 
   QueryStats stats_;
-  support::Deadline deadline_;
+  support::Budget budget_;
   support::ThreadPool* pool_ = nullptr;
 
   /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the

@@ -64,8 +64,10 @@ NlpResult solve_augmented_lagrangian(const NlpProblem& problem,
 
     // Inner: projected gradient descent on the augmented Lagrangian.
     double step = 1.0;
+    support::Budget::Poller poller(opt.budget, "nlp_inner", /*stride=*/8);
     for (std::size_t inner = 0; inner < opt.max_inner_iterations; ++inner) {
       ++result.inner_iterations;
+      poller.poll();
       const std::vector<double> grad =
           augmented_gradient(problem, result.w, lambda, mu);
       const double value = augmented_value(problem, result.w, lambda, mu);

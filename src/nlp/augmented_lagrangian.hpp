@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nlp/problem.hpp"
+#include "support/budget.hpp"
 
 namespace tveg::nlp {
 
@@ -15,6 +16,10 @@ namespace tveg::nlp {
 struct AugmentedLagrangianOptions {
   std::size_t max_outer_iterations = 40;
   std::size_t max_inner_iterations = 400;
+  /// Cooperative solve budget, polled (strided) in the projected-gradient
+  /// inner loop; expiry raises support::TimeoutError, a fired cancel token
+  /// support::CancelledError. Default: unlimited.
+  support::Budget budget;
   double initial_penalty = 1.0;
   double penalty_growth = 4.0;
   /// Outer stop: max constraint violation below this.

@@ -46,6 +46,10 @@ Workbench::Workbench(const trace::ContactTrace& trace,
 Workbench::Workbench(const trace::ContactTrace& trace,
                      channel::RadioParams radio, Options options)
     : options_(options),
+      cache_budget_(options.cache_budget_bytes > 0
+                        ? std::make_unique<support::MemBudget>(
+                              options.cache_budget_bytes)
+                        : nullptr),
       pool_(options.threads > 0
                 ? std::make_unique<support::ThreadPool>(options.threads)
                 : nullptr),
@@ -61,9 +65,12 @@ Workbench::Workbench(const trace::ContactTrace& trace,
       dts_(step_->build_dts(options.dts)) {
   if (options.use_cache) {
     // One cache per channel view — their ED-functions differ, so they must
-    // never share entries.
-    step_->attach_cache(std::make_shared<core::EdWeightCache>());
-    fading_->attach_cache(std::make_shared<core::EdWeightCache>());
+    // never share entries. They do share the byte ledger (when bounded), so
+    // the budget governs their aggregate footprint.
+    core::EdWeightCache::Options cache;
+    cache.mem = cache_budget_.get();
+    step_->attach_cache(std::make_shared<core::EdWeightCache>(cache));
+    fading_->attach_cache(std::make_shared<core::EdWeightCache>(cache));
   }
 }
 
@@ -156,6 +163,14 @@ std::vector<Workbench::RunOutcome> Workbench::run_many_eedcb(
         solved[i].schedule);
   }
   return outcomes;
+}
+
+std::vector<fault::GovernedSolve> Workbench::run_many_eedcb_governed(
+    const std::vector<core::SolveRequest>& requests,
+    fault::GovernOptions options) const {
+  options.eedcb = eedcb_options();
+  if (options.mem == nullptr) options.mem = cache_budget_.get();
+  return fault::solve_many_governed(*step_, dts_, requests, options);
 }
 
 DeliveryStats Workbench::delivery_under_fading(NodeId source,

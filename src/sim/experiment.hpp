@@ -14,7 +14,9 @@
 #include "core/fr.hpp"
 #include "core/solve_many.hpp"
 #include "core/tveg.hpp"
+#include "fault/govern.hpp"
 #include "sim/monte_carlo.hpp"
+#include "support/mem_budget.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/contact_trace.hpp"
 
@@ -63,6 +65,10 @@ class Workbench {
     /// core::EdWeightCache per channel view). Disabling reproduces the
     /// memoization-free pipeline bit for bit, only slower.
     bool use_cache = true;
+    /// Aggregate byte budget for BOTH views' ED-weight caches, enforced via
+    /// a shared support::MemBudget (pressure evicts whole shards; cached
+    /// results stay bit-identical, only residency changes). 0 = unbounded.
+    std::size_t cache_budget_bytes = 0;
   };
 
   Workbench(const trace::ContactTrace& trace, channel::RadioParams radio,
@@ -102,6 +108,21 @@ class Workbench {
   std::vector<RunOutcome> run_many_eedcb(
       const std::vector<core::SolveRequest>& requests) const;
 
+  /// Governed EEDCB batch (fault::solve_many_governed): per-request budgets,
+  /// isolation, optional watchdog and shedding; the workbench wires its own
+  /// pool, dts options, and cache MemBudget into `options` (its eedcb
+  /// budget/pool fields are overwritten). Un-governed requests produce
+  /// schedules byte-identical to run_many_eedcb.
+  std::vector<fault::GovernedSolve> run_many_eedcb_governed(
+      const std::vector<core::SolveRequest>& requests,
+      fault::GovernOptions options = {}) const;
+
+  /// The shared cache ledger (valid when cache_budget_bytes > 0); exposed
+  /// so callers can read tveg.mem occupancy mid-run.
+  const support::MemBudget* cache_budget() const {
+    return cache_budget_ ? cache_budget_.get() : nullptr;
+  }
+
   /// Monte-Carlo delivery of `schedule` under the fading view (Fig. 6(b)).
   DeliveryStats delivery_under_fading(NodeId source,
                                       const core::Schedule& schedule,
@@ -111,6 +132,9 @@ class Workbench {
   core::EedcbOptions eedcb_options() const;
 
   Options options_;
+  /// Declared before the Tvegs: their attached caches hold a raw pointer to
+  /// this ledger and must release into it during their own destruction.
+  std::unique_ptr<support::MemBudget> cache_budget_;
   std::unique_ptr<support::ThreadPool> pool_;
   std::unique_ptr<core::Tveg> step_;
   std::unique_ptr<core::Tveg> fading_;

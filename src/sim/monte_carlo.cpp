@@ -197,6 +197,7 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
 
   auto trial = [&](std::size_t i) {
     obs::ScopedSpan trial_span("mc_trial");
+    options.budget.check("mc_trial");
     // Per-trial stream via double-avalanche derivation: XOR with a multiple
     // of the golden gamma (the old scheme) let two scenario seeds share
     // trial streams at shifted indices.
@@ -216,7 +217,7 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
 
   const auto sim_start = std::chrono::steady_clock::now();
   if (options.parallel) {
-    support::parallel_for(0, options.trials, trial);
+    support::parallel_for(0, options.trials, trial, options.budget.cancel);
   } else {
     for (std::size_t i = 0; i < options.trials; ++i) trial(i);
   }

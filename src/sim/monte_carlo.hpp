@@ -14,6 +14,7 @@
 #include "core/schedule.hpp"
 #include "core/tveg.hpp"
 #include "fault/fault_plan.hpp"
+#include "support/budget.hpp"
 #include "support/stats.hpp"
 
 namespace tveg::sim {
@@ -38,6 +39,9 @@ struct McOptions {
   /// transmission emits nothing that trial — no deliveries, no channel
   /// draws. Deterministic per (seed, trial, tx index); default inactive.
   fault::TxFaultModel tx_faults;
+  /// Cooperative solve budget, polled once per trial (serial and parallel);
+  /// a fired cancel token drains the remaining trials. Default: unlimited.
+  support::Budget budget;
 };
 
 /// Aggregated delivery statistics.

@@ -1,0 +1,52 @@
+// Shared memory budget for cache growth governance (see DESIGN.md,
+// "Resource governance").
+//
+// A MemBudget is an atomic byte ledger shared by every EdWeightCache of a
+// sweep (and whatever else wants to participate): caches charge it as they
+// insert and release it as they evict, and consult over() to decide when to
+// shed shards. The budget never blocks or throws — exceeding it triggers
+// eviction pressure in the chargers, not failure — so a tight budget trades
+// hit rate for residency, never correctness.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace tveg::support {
+
+/// Atomic byte ledger; limit 0 = unlimited (charges are still tracked so
+/// tveg.mem.* gauges stay meaningful).
+class MemBudget {
+ public:
+  explicit MemBudget(std::size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemBudget(const MemBudget&) = delete;
+  MemBudget& operator=(const MemBudget&) = delete;
+
+  std::size_t limit() const { return limit_; }
+
+  std::size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  void charge(std::size_t bytes) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Releases up to `bytes` (clamped: eviction races can otherwise briefly
+  /// drive the ledger through zero).
+  void release(std::size_t bytes) {
+    std::size_t cur = used_.load(std::memory_order_relaxed);
+    while (!used_.compare_exchange_weak(cur, cur - (bytes < cur ? bytes : cur),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True when a limit is set and currently exceeded — the eviction
+  /// pressure signal.
+  bool over() const { return limit_ > 0 && used() > limit_; }
+
+ private:
+  std::size_t limit_;
+  std::atomic<std::size_t> used_{0};
+};
+
+}  // namespace tveg::support

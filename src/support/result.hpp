@@ -23,6 +23,7 @@ enum class ErrorCode {
   kParse,         ///< malformed textual input
   kInvalidInput,  ///< well-formed but semantically out of range
   kTimeout,       ///< a wall-clock solve budget expired
+  kCancelled,     ///< the request's CancelToken fired (caller or watchdog)
   kInfeasible,    ///< no feasible solution exists (or was found)
   kIo,            ///< file system / stream failure
   kInternal,      ///< invariant violation surfaced as a value
@@ -93,6 +94,8 @@ inline const char* error_code_name(ErrorCode code) {
       return "invalid input";
     case ErrorCode::kTimeout:
       return "timeout";
+    case ErrorCode::kCancelled:
+      return "cancelled";
     case ErrorCode::kInfeasible:
       return "infeasible";
     case ErrorCode::kIo:

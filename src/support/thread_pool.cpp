@@ -115,17 +115,39 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_impl(begin, end, body, nullptr);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken& cancel) {
+  parallel_for_impl(begin, end, body, &cancel);
+}
+
+void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
+                                   const std::function<void(std::size_t)>& body,
+                                   const CancelToken* cancel) {
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->cancelled();
+  };
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, thread_count_ + 1);
   if (chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (cancelled()) throw CancelledError("parallel_for cancelled");
+      body(i);
+    }
     return;
   }
 
   std::size_t remaining = chunks;  // guarded by done_mutex
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // One exception slot per chunk: "first exception wins" must mean the
+  // lowest *chunk index*, not whichever thread reached the error mutex
+  // first — a race that made multi-chunk failures nondeterministic. Writes
+  // are per-slot (no lock needed); the completion barrier below sequences
+  // them before the rethrow scan.
+  std::vector<std::exception_ptr> chunk_error(chunks);
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -133,10 +155,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + chunk * n / chunks;
     const std::size_t hi = begin + (chunk + 1) * n / chunks;
     try {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+      for (std::size_t i = lo; i < hi; ++i) {
+        // Drain on cancellation: skip the remaining indices so the pool
+        // frees up immediately. The caller-facing CancelledError is thrown
+        // once, after the barrier, by the waiting thread.
+        if (cancelled()) break;
+        body(i);
+      }
     } catch (...) {
-      std::lock_guard lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      chunk_error[chunk] = std::current_exception();
     }
     // The decrement must happen under done_mutex: if it were done outside
     // (say with an atomic), the waiter could observe zero, return, and
@@ -154,7 +181,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       // Stopped pool: degrade to inline serial execution (outside the
       // intake lock so body may itself touch the pool without deadlock).
       lock.unlock();
-      for (std::size_t i = begin; i < end; ++i) body(i);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (cancelled()) throw CancelledError("parallel_for cancelled");
+        body(i);
+      }
       return;
     }
     const bool timed = obs::enabled() || obs::span_tracing();
@@ -165,9 +195,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   cv_.notify_all();
   run_chunk(0);  // calling thread takes the first chunk
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk)
+    if (chunk_error[chunk]) std::rethrow_exception(chunk_error[chunk]);
+  if (cancelled()) throw CancelledError("parallel_for cancelled");
 }
 
 ThreadPool& ThreadPool::global() {
@@ -178,6 +212,12 @@ ThreadPool& ThreadPool::global() {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   ThreadPool::global().parallel_for(begin, end, body);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const CancelToken& cancel) {
+  ThreadPool::global().parallel_for(begin, end, body, cancel);
 }
 
 }  // namespace tveg::support

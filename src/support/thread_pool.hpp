@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/cancel.hpp"
+
 namespace tveg::support {
 
 /// Fixed-size thread pool; `submit` enqueues one task, `parallel_for`
@@ -50,11 +52,24 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [begin, end), split into contiguous chunks
   /// across the pool plus the calling thread; returns when all complete.
-  /// Exceptions from body are rethrown (first one wins); the remaining
-  /// indices of the throwing chunk are skipped, other chunks run to
-  /// completion.
+  /// Exceptions from body are rethrown; when several chunks throw
+  /// concurrently, the lowest-index chunk's exception wins deterministically
+  /// and the others are swallowed. The remaining indices of a throwing
+  /// chunk are skipped, other chunks run to completion.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
+
+  /// Cancellable variant: every chunk observes `cancel` before each index
+  /// (one relaxed load) and drains — skips its remaining indices — as soon
+  /// as cancellation is requested, so an expired solve stops occupying the
+  /// pool. Still blocks until every chunk has returned (no task is left
+  /// running), then throws CancelledError when the range was cut short —
+  /// unless a body exception is pending, which wins. On the uncancelled
+  /// path results are byte-identical to the plain overload: the checks
+  /// never reorder, split, or skip work.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    const CancelToken& cancel);
 
   /// Stops intake, drains the queue, joins the workers. Idempotent and
   /// safe to call concurrently with submit (racing submits throw).
@@ -86,6 +101,10 @@ class ThreadPool {
 
   void enqueue(std::function<void()> fn);
   void worker_loop(std::size_t worker_index);
+  /// Shared implementation; `cancel` == nullptr is the plain overload.
+  void parallel_for_impl(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         const CancelToken* cancel);
 
   std::vector<std::thread> workers_;
   std::size_t thread_count_ = 0;
@@ -95,8 +114,11 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Convenience wrapper over ThreadPool::global().parallel_for.
+/// Convenience wrappers over ThreadPool::global().parallel_for.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const CancelToken& cancel);
 
 }  // namespace tveg::support

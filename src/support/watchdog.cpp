@@ -1,0 +1,86 @@
+#include "support/watchdog.hpp"
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace tveg::support {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+}  // namespace
+
+Watchdog::Watchdog(Options options) : options_(options) {
+  if (options_.stall_ms < 1) options_.stall_ms = 1;
+  if (options_.tick_ms <= 0)
+    options_.tick_ms = options_.stall_ms / 4 > 1 ? options_.stall_ms / 4 : 1;
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::watch(const CancelSource& source) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t handle = next_handle_++;
+  watched_.push_back({handle, source, source.polls(), Clock::now(), false});
+  return handle;
+}
+
+void Watchdog::unwatch(std::uint64_t handle) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < watched_.size(); ++i)
+    if (watched_[i].handle == handle) {
+      watched_.erase(watched_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+}
+
+std::uint64_t Watchdog::stalls() const {
+  std::lock_guard lock(mutex_);
+  return stalls_;
+}
+
+void Watchdog::loop() {
+  static obs::Counter& stall_metric =
+      obs::MetricsRegistry::global().counter("tveg.govern.stalls");
+  const auto stall_window = ms_duration(options_.stall_ms);
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait_for(lock, ms_duration(options_.tick_ms),
+                 [this] { return stopping_; });
+    if (stopping_) return;
+    const auto now = Clock::now();
+    for (Watched& w : watched_) {
+      const std::uint64_t polls = w.source.polls();
+      if (polls != w.last_polls) {
+        w.last_polls = polls;
+        w.last_beat = now;
+        w.flagged = false;
+        continue;
+      }
+      if (w.flagged || now - w.last_beat < stall_window) continue;
+      // Stalled: no heartbeat for a whole window. Record first (so the
+      // trail exists even if nothing ever observes the cancel), then
+      // force-cancel.
+      w.flagged = true;
+      ++stalls_;
+      obs::flight_recorder().record(obs::FlightEventKind::kStallDetected,
+                                    w.handle, w.last_polls, "watchdog");
+      stall_metric.add(1);
+      w.source.request_cancel();
+    }
+  }
+}
+
+}  // namespace tveg::support

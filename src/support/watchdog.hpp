@@ -1,0 +1,96 @@
+// Stall watchdog (resource-governance subsystem, see DESIGN.md).
+//
+// Cooperative cancellation only works when the solve keeps polling; a solve
+// stuck in a non-polling region (an NLP inner loop that converged onto a
+// pathological line search, a pathological Dijkstra) would ignore both its
+// deadline and its cancel token forever. The Watchdog closes that hole from
+// outside: a monitor thread samples each registered CancelSource's poll
+// counter (the heartbeat every token poll ticks) and, when a solve has not
+// polled within the configured stall window, records a `stall_detected`
+// flight-recorder event, counts tveg.govern.stalls, and force-cancels the
+// source — the next poll the solve *does* make then throws CancelledError,
+// and if it never polls again the caller at least has the event trail.
+//
+// The monitor uses steady_clock (never the wall clock) and holds its lock
+// only while scanning the registration list, so registering/unregistering
+// from solve threads is cheap.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/cancel.hpp"
+
+namespace tveg::support {
+
+/// One monitor thread watching any number of CancelSources.
+class Watchdog {
+ public:
+  struct Options {
+    /// A watched solve that has not polled for this long is declared
+    /// stalled and force-cancelled.
+    double stall_ms = 1000;
+    /// Monitor sampling period; 0 derives stall_ms / 4 (min 1 ms). The
+    /// detection latency bound is stall_ms + one tick.
+    double tick_ms = 0;
+  };
+
+  explicit Watchdog(Options options);
+  Watchdog() : Watchdog(Options{}) {}
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers `source` for stall monitoring; returns a handle for
+  /// unwatch(). The Watchdog copies the source (shared state), so the
+  /// caller's object may go out of scope first — but a stall after the
+  /// solve finished would then cancel a dead token harmlessly.
+  std::uint64_t watch(const CancelSource& source);
+
+  /// Stops monitoring the handle (idempotent; unknown handles ignored).
+  void unwatch(std::uint64_t handle);
+
+  /// RAII watch registration for the common scoped-solve pattern.
+  class Scope {
+   public:
+    Scope(Watchdog& dog, const CancelSource& source)
+        : dog_(dog), handle_(dog.watch(source)) {}
+    ~Scope() { dog_.unwatch(handle_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Watchdog& dog_;
+    std::uint64_t handle_;
+  };
+
+  /// Stalls detected since construction.
+  std::uint64_t stalls() const;
+
+ private:
+  struct Watched {
+    std::uint64_t handle;
+    CancelSource source;
+    std::uint64_t last_polls;
+    std::chrono::steady_clock::time_point last_beat;
+    bool flagged;  ///< already declared stalled (one event per stall)
+  };
+
+  void loop();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t stalls_ = 0;
+  std::vector<Watched> watched_;
+  std::thread thread_;
+};
+
+}  // namespace tveg::support

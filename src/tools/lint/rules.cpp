@@ -209,7 +209,7 @@ bool rule_applies(const std::string& rule, const std::string& path) {
 
 /// Registered metric subsystems; a key must read tveg.<subsystem>.<name>.
 const char* kMetricKeyPattern =
-    R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli|cache|parallel|batch)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
+    R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli|cache|parallel|batch|govern|mem)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
 
 void check_metrics_keys(const std::string& path, const Views& views,
                         const std::vector<std::size_t>& starts,
@@ -319,6 +319,55 @@ void check_no_wall_clock_in_spans(const std::string& path, const Views& views,
          "fixed seed, so events carry logical sequence numbers only");
 }
 
+/// Resource-governance invariant: a pooled loop in solver code must be
+/// budget-aware. A `parallel_for` whose call region (through the matching
+/// close paren, lambda bodies included) mentions neither a budget/cancel
+/// token nor a poll is invisible to cooperative cancellation — the watchdog
+/// can fire, and the pool keeps grinding the full index range anyway. Scoped
+/// to the solver layers (core/, graph/, nlp/, sim/); support/ itself hosts
+/// the mechanism and the obs/cli layers never loop on the pool.
+void check_no_unbudgeted_pool_loop(const std::string& path, const Views& views,
+                                   const std::vector<std::size_t>& starts,
+                                   const std::string& raw,
+                                   std::vector<Finding>& findings) {
+  const std::string p = normalized(path);
+  const bool in_scope = p.find("/core/") != std::string::npos ||
+                        p.find("/graph/") != std::string::npos ||
+                        p.find("/nlp/") != std::string::npos ||
+                        p.find("/sim/") != std::string::npos ||
+                        p.find("pool_loop") != std::string::npos;
+  if (!in_scope) return;
+  static const std::regex call(R"(\bparallel_for\s*\()");
+  static const std::regex budgeted(
+      R"(\bbudget\b|\bcancel\b|\bpoll\s*\(|\.\s*check\s*\()");
+  const std::string& hay = views.tokens;
+  for (auto it = std::sregex_iterator(hay.begin(), hay.end(), call);
+       it != std::sregex_iterator(); ++it) {
+    const auto open = static_cast<std::size_t>(it->position(0)) +
+                      it->str().size() - 1;
+    // Match the call's closing paren; strings are blanked in this view, so
+    // only structural parens count.
+    std::size_t depth = 0;
+    std::size_t end = open;
+    for (; end < hay.size(); ++end) {
+      if (hay[end] == '(') ++depth;
+      if (hay[end] == ')' && --depth == 0) break;
+    }
+    const std::string region =
+        hay.substr(static_cast<std::size_t>(it->position(0)),
+                   end - static_cast<std::size_t>(it->position(0)) + 1);
+    if (std::regex_search(region, budgeted)) continue;
+    const long line =
+        line_of(starts, static_cast<std::size_t>(it->position(0)));
+    if (suppressed(raw, starts, line, "no-unbudgeted-pool-loop")) continue;
+    findings.push_back(
+        {path, line, "no-unbudgeted-pool-loop",
+         "parallel_for in solver code without a budget/cancel token or "
+         "poll in the call region; pass options.budget.cancel (and poll "
+         "the budget in the body) so governed solves can drain the pool"});
+  }
+}
+
 std::string read_file(const std::string& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   ok = static_cast<bool>(in);
@@ -341,7 +390,7 @@ const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
-      "no-wall-clock-in-spans",
+      "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
   };
   return ids;
 }
@@ -371,6 +420,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_metrics_keys(path, views, starts, text, findings);
   check_unchecked_result(path, views, text, findings);
   check_no_wall_clock_in_spans(path, views, starts, text, findings);
+  check_no_unbudgeted_pool_loop(path, views, starts, text, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

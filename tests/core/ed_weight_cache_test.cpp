@@ -214,5 +214,110 @@ TEST(EdWeightCache, StatsAccounting) {
   EXPECT_EQ(after.hits, 1u);
 }
 
+/// A byte bound (max_bytes) alone must drive pressure evictions — and the
+/// cached answers must stay exact throughout.
+TEST(EdWeightCache, ByteBoundForcesPressureEvictions) {
+  const trace::ContactTrace t = random_trace(17);
+  const Tveg reference(t, unit_radio(),
+                       model_options(channel::ChannelModel::kRayleigh));
+  Tveg cached(t, unit_radio(),
+              model_options(channel::ChannelModel::kRayleigh));
+  EdWeightCache::Options options;
+  options.max_bytes = 6 * EdWeightCache::kApproxEntryBytes;
+  auto cache = std::make_shared<EdWeightCache>(options);
+  cached.attach_cache(cache);
+
+  support::Rng rng(21);
+  const auto n = reference.node_count();
+  for (int q = 0; q < 2000; ++q) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    const Time time = rng.uniform(0.0, 200.0);
+    ASSERT_EQ(reference.edge_weight(a, b, time),
+              cached.edge_weight(a, b, time));
+  }
+  const auto stats = cache->stats();
+  EXPECT_GT(stats.pressure_evictions, 0u);
+  // Pressure evictions are a subset of all evictions, and the resident
+  // footprint stays a multiple of the approximate entry size.
+  EXPECT_GE(stats.evictions, stats.pressure_evictions);
+  EXPECT_EQ(stats.approx_bytes % EdWeightCache::kApproxEntryBytes, 0u);
+}
+
+/// A shared MemBudget ledger mirrors residency exactly: charged on insert,
+/// released on eviction/clear/destruction, and its over() pressure evicts
+/// even when the cache's own bounds are unlimited.
+TEST(EdWeightCache, SharedLedgerAccountsResidency) {
+  const trace::ContactTrace t = random_trace(19);
+  support::MemBudget mem(4 * EdWeightCache::kApproxEntryBytes);
+  {
+    Tveg cached(t, unit_radio(), model_options(channel::ChannelModel::kStep));
+    EdWeightCache::Options options;
+    options.mem = &mem;  // no max_entries/max_bytes pressure of its own
+    options.max_entries = 0;
+    auto cache = std::make_shared<EdWeightCache>(options);
+    cached.attach_cache(cache);
+
+    support::Rng rng(23);
+    const auto n = cached.node_count();
+    for (int q = 0; q < 1500; ++q) {
+      const auto a = static_cast<NodeId>(rng.uniform_int(
+          static_cast<std::uint64_t>(n)));
+      const auto b = static_cast<NodeId>(rng.uniform_int(
+          static_cast<std::uint64_t>(n)));
+      if (a == b) continue;
+      (void)cached.edge_weight(a, b, rng.uniform(0.0, 200.0));
+    }
+    const auto stats = cache->stats();
+    EXPECT_GT(stats.pressure_evictions, 0u);
+    // Ledger and cache agree on the resident footprint.
+    EXPECT_EQ(mem.used(), stats.approx_bytes);
+
+    cache->clear();
+    EXPECT_EQ(mem.used(), 0u);
+    EXPECT_EQ(cache->stats().approx_bytes, 0u);
+
+    // Refill a little so destruction has bytes to release.
+    (void)cached.edge_weight(0, 1, 0.0);
+  }
+  // Cache (and Tveg) destroyed: everything was released back.
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+/// Two caches charging one ledger: aggregate pressure governs both.
+TEST(EdWeightCache, TwoCachesShareOneBudget) {
+  const trace::ContactTrace t = random_trace(29);
+  support::MemBudget mem(8 * EdWeightCache::kApproxEntryBytes);
+  EdWeightCache::Options options;
+  options.mem = &mem;
+  Tveg step_view(t, unit_radio(), model_options(channel::ChannelModel::kStep));
+  Tveg fading_view(t, unit_radio(),
+                   model_options(channel::ChannelModel::kRayleigh));
+  auto a = std::make_shared<EdWeightCache>(options);
+  auto b = std::make_shared<EdWeightCache>(options);
+  step_view.attach_cache(a);
+  fading_view.attach_cache(b);
+
+  support::Rng rng(31);
+  const auto n = step_view.node_count();
+  for (int q = 0; q < 1500; ++q) {
+    const auto x = static_cast<NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    const auto y = static_cast<NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    if (x == y) continue;
+    const Time time = rng.uniform(0.0, 200.0);
+    (void)step_view.edge_weight(x, y, time);
+    (void)fading_view.edge_weight(x, y, time);
+  }
+  // Both caches fed the same ledger, and at least one was pressured by the
+  // other's residency.
+  EXPECT_EQ(mem.used(), a->stats().approx_bytes + b->stats().approx_bytes);
+  EXPECT_GT(a->stats().pressure_evictions + b->stats().pressure_evictions, 0u);
+}
+
 }  // namespace
 }  // namespace tveg::core

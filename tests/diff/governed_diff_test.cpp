@@ -1,0 +1,185 @@
+// Differential suite for the governed batch (DESIGN.md "Resource
+// governance"): with unlimited budgets, fault::solve_many_governed must be
+// a pure reordering-free wrapper — schedules BYTE-identical to the
+// ungoverned core::solve_many, transmission lists under exact double
+// equality, same serialized text — across seeded random TVEGs, with and
+// without cache + pool, and with a poisoned request planted mid-batch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ed_weight_cache.hpp"
+#include "core/eedcb.hpp"
+#include "core/schedule_io.hpp"
+#include "core/solve_many.hpp"
+#include "core/tveg.hpp"
+#include "fault/govern.hpp"
+#include "support/math.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::core {
+namespace {
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+trace::ContactTrace random_trace(std::uint64_t seed, int nodes) {
+  trace::SnapshotConfig cfg;
+  cfg.nodes = nodes;
+  cfg.slot = 20;
+  cfg.horizon = 200;
+  cfg.p = 0.25 + 0.05 * static_cast<double>(seed % 4);
+  cfg.seed = seed;
+  return trace::generate_snapshots(cfg);
+}
+
+support::ThreadPool& pool() {
+  static support::ThreadPool p(8);
+  return p;
+}
+
+void expect_identical(const Schedule& oracle, const Schedule& candidate,
+                      std::uint64_t seed) {
+  ASSERT_EQ(oracle.transmissions().size(), candidate.transmissions().size())
+      << "seed " << seed;
+  EXPECT_TRUE(oracle.transmissions() == candidate.transmissions())
+      << "seed " << seed << ": transmission lists differ";
+  std::ostringstream a;
+  std::ostringstream b;
+  write_schedule(a, oracle);
+  write_schedule(b, candidate);
+  EXPECT_EQ(a.str(), b.str()) << "seed " << seed
+                              << ": serialized schedules differ";
+}
+
+std::vector<SolveRequest> mixed_panel(int nodes) {
+  std::vector<SolveRequest> requests;
+  for (NodeId s = 0; s < nodes; ++s)
+    requests.push_back({.source = s, .deadline = 200.0});
+  for (NodeId s = 0; s < nodes; s += 2)
+    requests.push_back({.source = s, .deadline = 120.0});
+  requests.push_back({.source = 0, .deadline = 200.0, .targets = {1, 2}});
+  return requests;
+}
+
+/// Ungoverned budgets: the governed batch must replicate solve_many's
+/// grouping and solve path byte for byte, serial and pooled + cached.
+TEST(GovernedDiff, UnlimitedBudgetsMatchSolveManyByteForByte) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const int nodes = 6;
+    const trace::ContactTrace t = random_trace(seed, nodes);
+    const Tveg serial(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+    Tveg cached(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+    cached.attach_cache(std::make_shared<EdWeightCache>());
+
+    const std::vector<SolveRequest> requests = mixed_panel(nodes);
+    const auto baseline = solve_many(serial, requests, {});
+
+    fault::GovernOptions serial_opt;
+    const auto governed_serial =
+        fault::solve_many_governed(serial, requests, serial_opt);
+
+    fault::GovernOptions pooled_opt;
+    pooled_opt.eedcb.pool = &pool();
+    const auto governed_pooled =
+        fault::solve_many_governed(cached, requests, pooled_opt);
+
+    ASSERT_EQ(governed_serial.size(), requests.size());
+    ASSERT_EQ(governed_pooled.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(governed_serial[i].outcome.ok())
+          << "seed " << seed << " request " << i;
+      ASSERT_TRUE(governed_pooled[i].outcome.ok())
+          << "seed " << seed << " request " << i;
+      EXPECT_FALSE(governed_serial[i].degraded());
+      expect_identical(baseline[i].schedule,
+                       governed_serial[i].outcome.value().schedule, seed);
+      expect_identical(baseline[i].schedule,
+                       governed_pooled[i].outcome.value().schedule, seed);
+    }
+  }
+}
+
+/// One poisoned request planted mid-batch: every other request's schedule
+/// must still be byte-identical to a baseline that never saw the poison.
+TEST(GovernedDiff, PoisonedRequestLeavesEveryOtherScheduleIdentical) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int nodes = 6;
+    const trace::ContactTrace t = random_trace(seed, nodes);
+    const Tveg tveg(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+
+    std::vector<SolveRequest> requests = mixed_panel(nodes);
+    const auto baseline = solve_many(tveg, requests, {});
+
+    // Plant a request whose source does not exist in the middle of the
+    // 200-deadline group.
+    const std::size_t poison_at = 3;
+    requests.insert(requests.begin() + static_cast<std::ptrdiff_t>(poison_at),
+                    {.source = static_cast<NodeId>(nodes + 50),
+                     .deadline = 200.0});
+
+    const auto governed = fault::solve_many_governed(tveg, requests, {});
+    ASSERT_EQ(governed.size(), requests.size());
+    std::size_t baseline_index = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (i == poison_at) {
+        ASSERT_FALSE(governed[i].outcome.ok()) << "seed " << seed;
+        EXPECT_EQ(governed[i].outcome.error().code,
+                  support::ErrorCode::kInternal);
+        continue;
+      }
+      ASSERT_TRUE(governed[i].outcome.ok())
+          << "seed " << seed << " request " << i;
+      expect_identical(baseline[baseline_index].schedule,
+                       governed[i].outcome.value().schedule, seed);
+      ++baseline_index;
+    }
+  }
+}
+
+/// A bounded cache (byte pressure evicting whole shards mid-batch) must not
+/// move a single bit of any schedule.
+TEST(GovernedDiff, MemoryPressureEvictionsPreserveSchedules) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int nodes = 6;
+    const trace::ContactTrace t = random_trace(seed, nodes);
+    const Tveg serial(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+    Tveg squeezed(t, unit_radio(), {.model = channel::ChannelModel::kStep});
+    support::MemBudget mem(8 * EdWeightCache::kApproxEntryBytes);
+    EdWeightCache::Options cache_opt;
+    cache_opt.mem = &mem;
+    auto cache = std::make_shared<EdWeightCache>(cache_opt);
+    squeezed.attach_cache(cache);
+
+    const std::vector<SolveRequest> requests = mixed_panel(nodes);
+    const auto baseline = solve_many(serial, requests, {});
+
+    fault::GovernOptions options;
+    options.mem = &mem;
+    const auto governed =
+        fault::solve_many_governed(squeezed, requests, options);
+    ASSERT_EQ(governed.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(governed[i].outcome.ok())
+          << "seed " << seed << " request " << i;
+      expect_identical(baseline[i].schedule,
+                       governed[i].outcome.value().schedule, seed);
+    }
+    // The tiny budget actually bit: shards were evicted under pressure.
+    EXPECT_GT(cache->stats().pressure_evictions, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tveg::core

@@ -66,6 +66,48 @@ TEST(Degrade, ForcedTimeoutStillYieldsFeasibleSchedule) {
   EXPECT_TRUE(core::check_feasibility(inst, r.result.schedule).feasible);
 }
 
+TEST(Degrade, ExpiredBudgetShortCircuitsRungsInsteadOfRunningThem) {
+  // Satellite bugfix: with the ladder budget already spent, the EEDCB and
+  // BIP rungs must be *skipped* — recorded as timeout descents without
+  // building an aux graph that would only be thrown away — and the final
+  // rung still runs to completion (it is exempt from the shared deadline).
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance inst{&tveg, 0, 200.0};
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  RobustSolveOptions options;
+  options.budget_ms = 0;
+  const RobustSolveResult r = robust_solve(inst, dts, options);
+
+  ASSERT_EQ(r.descents.size(), 2u);
+  for (const auto& d : r.descents) {
+    EXPECT_EQ(d.code, support::ErrorCode::kTimeout);
+    EXPECT_NE(d.message.find("skipped"), std::string::npos)
+        << "expired rung was run instead of short-circuited: "
+        << d.to_string();
+  }
+  EXPECT_EQ(r.rung, SolverRung::kGreed);
+  EXPECT_TRUE(r.result.covered_all);
+}
+
+TEST(Degrade, CancelledLadderThrowsInsteadOfDescending) {
+  // Cancellation is a caller decision, not a solver failure: the ladder
+  // must surface it, never downgrade it into a GREED schedule.
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const core::TmedbInstance inst{&tveg, 0, 200.0};
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  const support::CancelSource source;
+  source.request_cancel();
+  RobustSolveOptions options;
+  options.cancel = source.token();
+  EXPECT_THROW(robust_solve(inst, dts, options), support::CancelledError);
+}
+
 TEST(Degrade, StartRungCanSkipEedcb) {
   const trace::ContactTrace t = sample_trace();
   const core::Tveg tveg(t, unit_radio(),

@@ -1,0 +1,261 @@
+// Per-request governance (fault::solve_many_governed): isolation of
+// poisoned requests, shed policies, admission bounds, watchdog arming, and
+// the tentpole acceptance — a mid-solve cancellation returns within a fixed
+// poll-count bound without wedging the pool.
+#include "fault/govern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/schedule_io.hpp"
+#include "core/solve_many.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::fault {
+namespace {
+
+channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+trace::ContactTrace sample_trace(std::uint64_t seed = 1, int nodes = 8,
+                                 Time horizon = 200) {
+  trace::SnapshotConfig cfg;
+  cfg.nodes = nodes;
+  cfg.slot = 20;
+  cfg.horizon = horizon;
+  cfg.p = 0.35;
+  cfg.seed = seed;
+  return trace::generate_snapshots(cfg);
+}
+
+std::string serialized(const core::Schedule& schedule) {
+  std::ostringstream out;
+  core::write_schedule(out, schedule);
+  return out.str();
+}
+
+TEST(Govern, CleanBatchIsByteIdenticalToUngoverned) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  std::vector<core::SolveRequest> requests;
+  for (NodeId s = 0; s < 8; ++s)
+    requests.push_back({.source = s, .deadline = 200.0});
+  requests.push_back({.source = 0, .deadline = 120.0});
+
+  const auto baseline = core::solve_many(tveg, dts, requests, {});
+  const auto governed = solve_many_governed(tveg, dts, requests, {});
+  ASSERT_EQ(governed.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(governed[i].outcome.ok()) << "request " << i;
+    EXPECT_EQ(governed[i].rung, SolverRung::kEedcb);
+    EXPECT_FALSE(governed[i].shed);
+    EXPECT_FALSE(governed[i].degraded());
+    EXPECT_EQ(serialized(governed[i].outcome.value().schedule),
+              serialized(baseline[i].schedule))
+        << "request " << i;
+  }
+}
+
+TEST(Govern, PoisonedRequestCostsExactlyItsOwnSlot) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  // Source 100 does not exist: the solve throws deep inside the pipeline.
+  std::vector<core::SolveRequest> poisoned;
+  poisoned.push_back({.source = 0, .deadline = 200.0});
+  poisoned.push_back({.source = 100, .deadline = 200.0});
+  poisoned.push_back({.source = 1, .deadline = 200.0});
+
+  // The ungoverned batch aborts wholesale...
+  EXPECT_THROW(core::solve_many(tveg, dts, poisoned, {}), std::exception);
+
+  // ...the governed batch returns three per-request outcomes.
+  const auto governed = solve_many_governed(tveg, dts, poisoned, {});
+  ASSERT_EQ(governed.size(), 3u);
+  ASSERT_TRUE(governed[0].outcome.ok());
+  ASSERT_FALSE(governed[1].outcome.ok());
+  EXPECT_EQ(governed[1].outcome.error().code, support::ErrorCode::kInternal);
+  ASSERT_TRUE(governed[2].outcome.ok());
+
+  // And the survivors are byte-identical to a baseline that never saw the
+  // poison.
+  const std::vector<core::SolveRequest> clean = {poisoned[0], poisoned[2]};
+  const auto baseline = core::solve_many(tveg, dts, clean, {});
+  EXPECT_EQ(serialized(governed[0].outcome.value().schedule),
+            serialized(baseline[0].schedule));
+  EXPECT_EQ(serialized(governed[2].outcome.value().schedule),
+            serialized(baseline[1].schedule));
+}
+
+TEST(Govern, ZeroBudgetDegradesEveryRequestToGreed) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  std::vector<core::SolveRequest> requests;
+  for (NodeId s = 0; s < 4; ++s)
+    requests.push_back({.source = s, .deadline = 200.0});
+
+  GovernOptions options;
+  options.request_budget_ms = 0;
+  const auto governed = solve_many_governed(tveg, dts, requests, options);
+  for (std::size_t i = 0; i < governed.size(); ++i) {
+    ASSERT_TRUE(governed[i].outcome.ok()) << "request " << i;
+    EXPECT_EQ(governed[i].rung, SolverRung::kGreed) << "request " << i;
+    ASSERT_TRUE(governed[i].degraded()) << "request " << i;
+    EXPECT_EQ(governed[i].descents.front().code,
+              support::ErrorCode::kTimeout);
+    const core::TmedbInstance inst{&tveg, requests[i].source, 200.0};
+    EXPECT_TRUE(core::check_feasibility(
+                    inst, governed[i].outcome.value().schedule)
+                    .feasible)
+        << "request " << i;
+  }
+}
+
+TEST(Govern, ErrorPolicyReturnsTimeoutsInsteadOfSchedules) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+
+  GovernOptions options;
+  options.request_budget_ms = 0;
+  options.shed_policy = ShedPolicy::kError;
+  // The dts-building overload, for coverage of both entry points.
+  const auto governed = solve_many_governed(
+      tveg, {{.source = 0, .deadline = 200.0}}, options);
+  ASSERT_EQ(governed.size(), 1u);
+  ASSERT_FALSE(governed[0].outcome.ok());
+  EXPECT_EQ(governed[0].outcome.error().code, support::ErrorCode::kTimeout);
+  EXPECT_TRUE(governed[0].degraded());
+}
+
+TEST(Govern, AdmissionBoundShedsTheTail) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  std::vector<core::SolveRequest> requests;
+  for (NodeId s = 0; s < 6; ++s)
+    requests.push_back({.source = s, .deadline = 200.0});
+
+  GovernOptions options;
+  options.max_inflight = 2;
+  options.shed_policy = ShedPolicy::kError;
+  const auto errored = solve_many_governed(tveg, dts, requests, options);
+  ASSERT_EQ(errored.size(), 6u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(errored[i].outcome.ok()) << "request " << i;
+    EXPECT_FALSE(errored[i].shed);
+  }
+  for (std::size_t i = 2; i < 6; ++i) {
+    EXPECT_TRUE(errored[i].shed) << "request " << i;
+    EXPECT_FALSE(errored[i].outcome.ok()) << "request " << i;
+  }
+
+  // Under the degrade policy the shed tail still gets GREED schedules.
+  options.shed_policy = ShedPolicy::kDegrade;
+  const auto degraded = solve_many_governed(tveg, dts, requests, options);
+  for (std::size_t i = 2; i < 6; ++i) {
+    EXPECT_TRUE(degraded[i].shed) << "request " << i;
+    ASSERT_TRUE(degraded[i].outcome.ok()) << "request " << i;
+    EXPECT_EQ(degraded[i].rung, SolverRung::kGreed);
+  }
+}
+
+TEST(Govern, WatchdogArmedBatchStaysClean) {
+  const trace::ContactTrace t = sample_trace();
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+
+  GovernOptions options;
+  options.stall_ms = 60000;  // far beyond any solve here: must never fire
+  const auto governed = solve_many_governed(
+      tveg, dts, {{.source = 0, .deadline = 200.0}}, options);
+  ASSERT_EQ(governed.size(), 1u);
+  EXPECT_TRUE(governed[0].outcome.ok());
+  EXPECT_FALSE(governed[0].degraded());
+}
+
+TEST(Govern, MidSolveCancelReturnsWithinAFixedPollBound) {
+  // Tentpole acceptance: fire a request's CancelSource once its solve is
+  // mid-pipeline (the heartbeat proves it is polling), then assert the
+  // cancelled outcome lands within a fixed number of further polls and the
+  // pool is immediately reusable.
+  const trace::ContactTrace t = sample_trace(3, /*nodes=*/12, /*horizon=*/400);
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  const DiscreteTimeSet dts = tveg.build_dts();
+  support::ThreadPool pool(4);
+
+  GovernOptions options;
+  options.shed_policy = ShedPolicy::kError;
+  options.eedcb.method = core::SteinerMethod::kRecursiveGreedy;
+  options.eedcb.steiner_level = 2;
+  options.eedcb.pool = &pool;
+
+  const std::vector<support::CancelSource> cancels(1);
+  std::atomic<bool> solve_done{false};
+  std::atomic<std::uint64_t> polls_at_cancel{0};
+  std::thread firer([&] {
+    // Wait for the solve to prove it is alive (a few hundred budget polls),
+    // then cancel. Bail out if the solve somehow finishes first.
+    while (cancels[0].polls() < 300 && !solve_done.load()) {
+      std::this_thread::yield();
+    }
+    polls_at_cancel.store(cancels[0].polls());
+    cancels[0].request_cancel();
+  });
+
+  const auto governed = solve_many_governed(
+      tveg, dts, {{.source = 0, .deadline = 400.0}}, options, cancels);
+  solve_done.store(true);
+  firer.join();
+
+  ASSERT_EQ(governed.size(), 1u);
+  ASSERT_FALSE(governed[0].outcome.ok())
+      << "the solve finished before the cancel landed — grow the instance";
+  EXPECT_EQ(governed[0].outcome.error().code, support::ErrorCode::kCancelled);
+  EXPECT_FALSE(governed[0].degraded());
+
+  // The fixed bound: once the cancel is visible every poller throws on its
+  // next poll, so the tail is a handful of in-flight polls per thread —
+  // 4096 is orders of magnitude below the full solve's poll count.
+  EXPECT_LE(cancels[0].polls() - polls_at_cancel.load(), 4096u);
+
+  // No pool task is still running: a fresh loop completes, and a clean
+  // governed solve on the same pool succeeds.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 1000u);
+  const auto clean = solve_many_governed(
+      tveg, dts, {{.source = 0, .deadline = 400.0}}, options);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_TRUE(clean[0].outcome.ok());
+}
+
+}  // namespace
+}  // namespace tveg::fault

@@ -174,9 +174,33 @@ TEST(TvegLint, RuleIdsAreStable) {
   const std::vector<std::string> expected = {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
-      "no-wall-clock-in-spans",
+      "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
   };
   EXPECT_EQ(rule_ids(), expected);
+}
+
+TEST(TvegLint, UnbudgetedPoolLoopFlaggedInSolverLayersOnly) {
+  const std::string bare =
+      "void f() { pool.parallel_for(0, n, [&](std::size_t i) { w(i); }); }\n";
+  // Solver layers: flagged.
+  const auto findings = lint_source("src/core/hot.cpp", bare);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-unbudgeted-pool-loop");
+  // support/ hosts the mechanism itself and stays out of scope.
+  EXPECT_TRUE(lint_source("src/support/thread_pool.cpp", bare).empty());
+  // A visible cancel token (or budget poll) in the call region is clean.
+  const std::string tokened =
+      "void f() { pool.parallel_for(0, n, body, budget.cancel); }\n";
+  EXPECT_TRUE(lint_source("src/graph/hot.cpp", tokened).empty());
+  const std::string polled =
+      "void f() { pool.parallel_for(0, n, [&](std::size_t i) {\n"
+      "  options.budget.check(\"hot\"); w(i); }); }\n";
+  EXPECT_TRUE(lint_source("src/sim/hot.cpp", polled).empty());
+  // Suppressible like every other rule (allow comments are per-line).
+  const std::string allowed =
+      "void f() { pool.parallel_for(0, n, body); }"
+      "  // tveg-lint: allow(no-unbudgeted-pool-loop)\n";
+  EXPECT_TRUE(lint_source("src/nlp/hot.cpp", allowed).empty());
 }
 
 }  // namespace

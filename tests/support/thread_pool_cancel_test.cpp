@@ -1,0 +1,146 @@
+// Cancellable parallel_for: drain-on-cancel without leaking tasks, the
+// deterministic lowest-chunk-index exception rule (the multi-chunk
+// propagation regression), and byte-identity on the uncancelled path.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/cancel.hpp"
+
+namespace tveg::support {
+namespace {
+
+TEST(ThreadPoolCancel, FirstExceptionIsDeterministicAcrossChunks) {
+  // Regression: with every index throwing, several chunks race their
+  // exceptions into the pool; the winner must always be the lowest-index
+  // chunk's (whose first index is 0), never whichever chunk lost the race
+  // last. Before the fix the surviving exception was scheduling-dependent.
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::string what;
+    try {
+      pool.parallel_for(0, 4096, [](std::size_t i) {
+        throw std::runtime_error("index " + std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "index 0") << "round " << round;
+  }
+}
+
+TEST(ThreadPoolCancel, MidRunCancelDrainsAndThrows) {
+  ThreadPool pool(4);
+  const CancelSource source;
+  std::atomic<std::size_t> executed{0};
+  bool cancelled = false;
+  try {
+    pool.parallel_for(
+        0, 1u << 20,
+        [&](std::size_t) {
+          // The body itself trips the source a few thousand indices in, so
+          // the cancel lands deterministically mid-run.
+          if (executed.fetch_add(1, std::memory_order_relaxed) == 4096)
+            source.request_cancel();
+        },
+        source.token());
+  } catch (const CancelledError&) {
+    cancelled = true;
+  }
+  EXPECT_TRUE(cancelled);
+  // The range was cut short: the chunks drained instead of finishing.
+  EXPECT_LT(executed.load(), std::size_t{1} << 20);
+  EXPECT_GE(executed.load(), 4096u);
+
+  // No task is still running and the pool is not wedged: a fresh loop on
+  // the same pool completes normally.
+  std::atomic<std::size_t> after{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 1000u);
+}
+
+TEST(ThreadPoolCancel, PreCancelledTokenRunsNothing) {
+  ThreadPool pool(4);
+  const CancelSource source;
+  source.request_cancel();
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.parallel_for(
+                   0, 1000, [&](std::size_t) { ++executed; }, source.token()),
+               CancelledError);
+  EXPECT_EQ(executed.load(), 0u);
+}
+
+TEST(ThreadPoolCancel, BodyExceptionBeatsConcurrentCancel) {
+  // A body failure and a cancellation can race; the body exception is the
+  // more informative outcome and must win.
+  ThreadPool pool(4);
+  const CancelSource source;
+  try {
+    pool.parallel_for(
+        0, 1 << 16,
+        [&](std::size_t i) {
+          if (i == 0) {
+            source.request_cancel();
+            throw std::logic_error("body failure");
+          }
+        },
+        source.token());
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "body failure");
+  }
+}
+
+TEST(ThreadPoolCancel, UncancelledPathIsByteIdenticalToPlainOverload) {
+  ThreadPool pool(8);
+  const CancelSource source;  // valid token, never fired
+  const std::size_t n = 50000;
+  std::vector<double> plain(n), tokened(n);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    plain[i] = static_cast<double>(i) * 1.5 + 1.0 / (static_cast<double>(i) + 1.0);
+  });
+  pool.parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        tokened[i] =
+            static_cast<double>(i) * 1.5 + 1.0 / (static_cast<double>(i) + 1.0);
+      },
+      source.token());
+  EXPECT_TRUE(plain == tokened);
+  // Every index polled the token exactly once.
+  EXPECT_EQ(source.polls(), 0u);  // drain checks are relaxed loads, not polls
+}
+
+TEST(ThreadPoolCancel, StoppedPoolStillHonoursCancellation) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  const CancelSource source;
+  source.request_cancel();
+  std::atomic<std::size_t> executed{0};
+  // The inline fallback must observe the token too, not run the whole range.
+  EXPECT_THROW(pool.parallel_for(
+                   0, 1000, [&](std::size_t) { ++executed; }, source.token()),
+               CancelledError);
+  EXPECT_EQ(executed.load(), 0u);
+}
+
+TEST(ThreadPoolCancel, FreeFunctionOverloadForwards) {
+  const CancelSource source;
+  std::atomic<std::size_t> executed{0};
+  parallel_for(0, 100, [&](std::size_t) { ++executed; }, source.token());
+  EXPECT_EQ(executed.load(), 100u);
+  source.request_cancel();
+  EXPECT_THROW(parallel_for(
+                   0, 100, [&](std::size_t) { ++executed; }, source.token()),
+               CancelledError);
+  EXPECT_EQ(executed.load(), 100u);
+}
+
+}  // namespace
+}  // namespace tveg::support
