@@ -6,7 +6,13 @@
 #          --flight-out, an independent Python validation of the Perfetto
 #          trace (worker tracks, queue waits, matched B/E pairs), plus the
 #          trace-schema and span-overhead ctests re-run in isolation
-#   lint   scripts/lint.sh — clang-tidy (when available) + tveg-lint
+#   lint   scripts/lint.sh — clang-tidy and the -Werror=thread-safety
+#          build (both when clang is available) + tveg-lint (text rules,
+#          header isolation, suppression audit) + tveg-analyze (cross-TU
+#          manifests / lock order / noexcept boundaries). The stage reuses
+#          this script's build-ci tree via TVEG_LINT_BUILD_DIR, so it adds
+#          two tool links to an incremental build instead of a second
+#          configure-from-scratch.
 #   asan   suite under AddressSanitizer; also drives the malformed-input
 #          trace corpus through the CLI parser, so every rejection path
 #          runs under ASan with real file I/O
@@ -19,8 +25,10 @@
 #          budget, plus the CancelStorm suite re-run on the TSan build
 #
 # Usage: scripts/ci.sh [--fast] [--bench]
-#   --fast   plain build + ctest only (skips obs, lint, sanitizer and soak
-#            tiers)
+#   --fast   plain build + ctest + lint.sh --lint-only (skips obs, the
+#            clang-tidy/thread-safety lint layers, sanitizer and soak
+#            tiers — but never tveg-lint or tveg-analyze: the project
+#            invariant checkers gate every speed setting)
 #   --bench  additionally run scripts/bench_gate.sh (bench regression gate)
 set -euo pipefail
 
@@ -176,10 +184,14 @@ drive_soak() {
 
 run_suite "plain" "${REPO_ROOT}/build-ci" -DTVEG_WERROR=ON
 
-if [[ "${FAST}" -eq 0 ]]; then
+if [[ "${FAST}" -eq 1 ]]; then
+  echo "==== [lint] scripts/lint.sh --lint-only ===="
+  TVEG_LINT_BUILD_DIR="${REPO_ROOT}/build-ci" \
+      "${REPO_ROOT}/scripts/lint.sh" --lint-only
+else
   drive_obs "${REPO_ROOT}/build-ci"
   echo "==== [lint] scripts/lint.sh ===="
-  "${REPO_ROOT}/scripts/lint.sh"
+  TVEG_LINT_BUILD_DIR="${REPO_ROOT}/build-ci" "${REPO_ROOT}/scripts/lint.sh"
   run_suite "asan" "${REPO_ROOT}/build-asan" -DTVEG_SANITIZE=address
   drive_corpus "${REPO_ROOT}/build-asan"
   run_suite "ubsan" "${REPO_ROOT}/build-ubsan" -DTVEG_SANITIZE=undefined

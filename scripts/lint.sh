@@ -1,27 +1,64 @@
 #!/usr/bin/env bash
-# Static-analysis driver: clang-tidy over every translation unit in src/
-# (tuned check set in .clang-tidy, any finding fails), then the project's
-# own tveg-lint invariant checker — text rules plus isolated-compilation
-# header checks. DESIGN.md "Static analysis & concurrency correctness"
-# documents the rule set; scripts/ci.sh runs this as its lint stage.
+# Static-analysis driver, both layers (DESIGN.md "Static analysis &
+# concurrency correctness"):
 #
-# Usage: scripts/lint.sh [--no-headers]
+#   layer 1 (compiler)  clang-tidy over every TU (tuned check set in
+#                       .clang-tidy, any finding fails) and, when a clang++
+#                       is available, a -DTVEG_THREAD_SAFETY=ON build that
+#                       makes every lock-discipline violation a compile
+#                       error (-Werror=thread-safety).
+#   layer 2 (project)   tveg-lint — per-file text rules + isolated header
+#                       compiles + stale-suppression audit — and
+#                       tveg-analyze — the cross-TU invariant checker
+#                       (metric/flight manifests, lock-order graph,
+#                       noexcept exception boundaries), driven by the build
+#                       dir's compile_commands.json.
+#
+# Usage: scripts/lint.sh [--no-headers] [--lint-only]
 #   --no-headers   skip the (slow, ~30 s) isolated header compiles
+#   --lint-only    fast path: only the project tools (tveg-lint text rules
+#                  + suppression audit + tveg-analyze). Skips clang-tidy,
+#                  the thread-safety build and the header compiles. This is
+#                  what scripts/ci.sh --fast runs — tveg-analyze is never
+#                  skipped, at any speed setting.
 #
-# clang-tidy availability: the stage is gated on finding a clang-tidy
-# binary. On toolchains without one (e.g. a gcc-only container) the stage
-# is skipped with a notice — tveg-lint still runs and still gates the
-# pipeline. Set TVEG_CLANG_TIDY to force a specific binary.
+# Build-dir reuse: the tools are built in ${TVEG_LINT_BUILD_DIR:-build-lint}
+# and the configure+build is incremental, so repeated runs only pay for what
+# changed. scripts/ci.sh points TVEG_LINT_BUILD_DIR at its own build-ci
+# tree, so the lint stage reuses the plain stage's objects instead of
+# configuring a second build from scratch.
+#
+# clang availability: both layer-1 stages are gated on finding the binary
+# (clang-tidy / clang++). On toolchains without them (e.g. a gcc-only
+# container) the stage is skipped with a notice — layer 2 still runs and
+# still gates the pipeline. Pin specific binaries with TVEG_CLANG_TIDY=
+# (exact clang-tidy to run — version-suffixed names and /usr/lib/llvm-*/bin
+# are probed otherwise) and TVEG_CLANGXX= (exact clang++ for the
+# thread-safety build; also honored by the analyze.thread_safety_compile_fail
+# ctest).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 BUILD_DIR="${TVEG_LINT_BUILD_DIR:-${REPO_ROOT}/build-lint}"
 CHECK_HEADERS=1
-[[ "${1:-}" == "--no-headers" ]] && CHECK_HEADERS=0
+LINT_ONLY=0
+for arg in "$@"; do
+  case "${arg}" in
+    --no-headers) CHECK_HEADERS=0 ;;
+    --lint-only) LINT_ONLY=1; CHECK_HEADERS=0 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
+# Pick ninja for fresh build dirs only: when TVEG_LINT_BUILD_DIR points at
+# an already-configured tree (ci.sh reusing build-ci), forcing a generator
+# that differs from the one cached there is a hard cmake error.
 GENERATOR=()
-command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+if command -v ninja >/dev/null 2>&1 && [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]
+then
+  GENERATOR=(-G Ninja)
+fi
 
 find_clang_tidy() {
   if [[ -n "${TVEG_CLANG_TIDY:-}" ]]; then
@@ -41,21 +78,54 @@ find_clang_tidy() {
   return 1
 }
 
-echo "==== [lint] configure (compile_commands.json + tveg-lint) ===="
+find_clangxx() {
+  if [[ -n "${TVEG_CLANGXX:-}" ]]; then
+    echo "${TVEG_CLANGXX}"
+    return 0
+  fi
+  local candidate
+  for candidate in clang++ clang++-{20,19,18,17,16,15,14}; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+echo "==== [lint] configure (compile_commands.json + tveg-lint/-analyze) ===="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${GENERATOR[@]}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${BUILD_DIR}" --target tveg-lint -j "${JOBS}"
+cmake --build "${BUILD_DIR}" --target tveg-lint tveg-analyze -j "${JOBS}"
 
-if CLANG_TIDY="$(find_clang_tidy)"; then
-  echo "==== [lint] clang-tidy (${CLANG_TIDY}) over src/ ===="
-  # WarningsAsErrors: '*' in .clang-tidy makes any finding a hard failure.
-  find "${REPO_ROOT}/src" -name '*.cpp' -print0 |
-    xargs -0 -n 8 -P "${JOBS}" "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
-  echo "clang-tidy: clean"
-else
-  echo "==== [lint] clang-tidy not found — stage skipped ===="
-  echo "(install clang-tidy or set TVEG_CLANG_TIDY to enable; tveg-lint"
-  echo " below still gates this pipeline)"
+if [[ "${LINT_ONLY}" -eq 0 ]]; then
+  if CLANG_TIDY="$(find_clang_tidy)"; then
+    echo "==== [lint] clang-tidy (${CLANG_TIDY}) over src/ ===="
+    # WarningsAsErrors: '*' in .clang-tidy makes any finding a hard failure.
+    find "${REPO_ROOT}/src" -name '*.cpp' -print0 |
+      xargs -0 -n 8 -P "${JOBS}" "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
+    echo "clang-tidy: clean"
+  else
+    echo "==== [lint] clang-tidy not found — stage skipped ===="
+    echo "(install clang-tidy or set TVEG_CLANG_TIDY to enable; the project"
+    echo " tools below still gate this pipeline)"
+  fi
+
+  if CLANGXX="$(find_clangxx)"; then
+    # Layer-1 lock discipline: a dedicated clang build with the capability
+    # attributes fatal. Incremental like the main lint dir, and kept
+    # separate from it so the gcc/clang object files never mix.
+    echo "==== [lint] clang thread-safety build (${CLANGXX}) ===="
+    cmake -B "${REPO_ROOT}/build-lint-ts" -S "${REPO_ROOT}" "${GENERATOR[@]}" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+          -DTVEG_THREAD_SAFETY=ON >/dev/null
+    cmake --build "${REPO_ROOT}/build-lint-ts" -j "${JOBS}"
+    echo "thread-safety: clean"
+  else
+    echo "==== [lint] clang++ not found — thread-safety build skipped ===="
+    echo "(install clang or set TVEG_CLANGXX to enable -Werror=thread-safety)"
+  fi
 fi
 
 echo "==== [lint] tveg-lint invariant checker ===="
@@ -65,5 +135,13 @@ if [[ "${CHECK_HEADERS}" -eq 1 ]]; then
                    --compiler "${CXX:-c++}")
 fi
 "${BUILD_DIR}/src/tools/tveg-lint" "${TVEG_LINT_ARGS[@]}"
+
+echo "==== [lint] tveg-lint suppression audit ===="
+"${BUILD_DIR}/src/tools/tveg-lint" --root "${REPO_ROOT}/src" \
+    --audit-suppressions
+
+echo "==== [lint] tveg-analyze cross-TU invariants ===="
+"${BUILD_DIR}/src/tools/tveg-analyze" --root "${REPO_ROOT}/src" \
+    --compdb "${BUILD_DIR}/compile_commands.json"
 
 echo "==== lint green ===="

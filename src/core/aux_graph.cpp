@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -75,7 +76,7 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
       fill(s);
     }, options.budget.cancel);
     static obs::Counter& par_tasks =
-        obs::MetricsRegistry::global().counter("tveg.parallel.aux_dcs_tasks");
+        obs::MetricsRegistry::global().counter(obs::keys::kParallelAuxDcsTasks);
     par_tasks.add(slots.size());
   } else {
     support::Budget::Poller poller(options.budget, "aux_dcs", /*stride=*/16);
@@ -132,11 +133,11 @@ AuxGraph::AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
   }
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& builds = registry.counter("tveg.aux.builds");
+  static obs::Counter& builds = registry.counter(obs::keys::kAuxBuilds);
   static obs::Counter& power_vertices =
-      registry.counter("tveg.aux.power_vertices");
-  static obs::Gauge& vertices = registry.gauge("tveg.aux.last_vertices");
-  static obs::Gauge& arcs = registry.gauge("tveg.aux.last_arcs");
+      registry.counter(obs::keys::kAuxPowerVertices);
+  static obs::Gauge& vertices = registry.gauge(obs::keys::kAuxLastVertices);
+  static obs::Gauge& arcs = registry.gauge(obs::keys::kAuxLastArcs);
   builds.add(1);
   power_vertices.add(power_info_.size());
   vertices.set(static_cast<double>(vertex_count()));

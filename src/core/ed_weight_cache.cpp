@@ -2,6 +2,7 @@
 
 #include "core/tveg.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "support/assert.hpp"
@@ -10,17 +11,17 @@ namespace tveg::core {
 
 EdWeightCache::EdWeightCache(Options options) : options_(options) {
   static obs::Counter& builds =
-      obs::MetricsRegistry::global().counter("tveg.cache.builds");
+      obs::MetricsRegistry::global().counter(obs::keys::kCacheBuilds);
   builds.add(1);
 }
 
 EdWeightCache::~EdWeightCache() {
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& hits = registry.counter("tveg.cache.hits");
-  static obs::Counter& misses = registry.counter("tveg.cache.misses");
-  static obs::Counter& evictions = registry.counter("tveg.cache.evictions");
+  static obs::Counter& hits = registry.counter(obs::keys::kCacheHits);
+  static obs::Counter& misses = registry.counter(obs::keys::kCacheMisses);
+  static obs::Counter& evictions = registry.counter(obs::keys::kCacheEvictions);
   static obs::Counter& pressure =
-      registry.counter("tveg.mem.pressure_evictions");
+      registry.counter(obs::keys::kMemPressureEvictions);
   hits.add(hits_.load(std::memory_order_relaxed));
   misses.add(misses_.load(std::memory_order_relaxed));
   evictions.add(evictions_.load(std::memory_order_relaxed));
@@ -48,7 +49,7 @@ void EdWeightCache::evict_shard(Shard& shard, std::size_t shard_index,
   bytes_.fetch_sub(freed, std::memory_order_relaxed);
   if (options_.mem != nullptr) options_.mem->release(freed);
   static obs::Gauge& resident =
-      obs::MetricsRegistry::global().gauge("tveg.mem.cache_bytes");
+      obs::MetricsRegistry::global().gauge(obs::keys::kMemCacheBytes);
   resident.set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
 }
 
@@ -62,7 +63,7 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   const std::size_t shard_index = (e + segment * 0x9e3779b9u) % kShards;
   Shard& shard = shards_[shard_index];
   {
-    std::lock_guard lock(shard.mutex);
+    support::MutexLock lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -81,7 +82,7 @@ const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
   Entry entry;
   entry.ed = tveg.materialize_ed(e, t);
   entry.weight = entry.ed->min_cost_for(tveg.radio().epsilon);
-  std::lock_guard lock(shard.mutex);
+  support::MutexLock lock(shard.mutex);
   if (options_.max_entries > 0 &&
       shard.map.size() >= (options_.max_entries + kShards - 1) / kShards)
     evict_shard(shard, shard_index, /*pressure=*/false);
@@ -124,7 +125,7 @@ EdWeightCache::Stats EdWeightCache::stats() const {
 
 void EdWeightCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    support::MutexLock lock(shard.mutex);
     const std::size_t freed = shard.map.size() * kApproxEntryBytes;
     shard.map.clear();
     bytes_.fetch_sub(freed, std::memory_order_relaxed);

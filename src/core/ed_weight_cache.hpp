@@ -26,8 +26,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 #include "channel/ed_function.hpp"
 #include "support/mem_budget.hpp"
@@ -103,8 +105,8 @@ class EdWeightCache {
     Cost weight = 0;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Entry> map;
+    mutable support::Mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map TVEG_GUARDED_BY(mutex);
   };
   static constexpr std::size_t kShards = 16;
 
@@ -114,7 +116,7 @@ class EdWeightCache {
   /// the ledger and counting the eviction; `pressure` marks byte-driven
   /// evictions apart from entry-count ones.
   void evict_shard(Shard& shard, std::size_t shard_index,
-                   bool pressure) const;
+                   bool pressure) const TVEG_REQUIRES(shard.mutex);
 
   Options options_;
   mutable Shard shards_[kShards];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nlp/augmented_lagrangian.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
@@ -19,10 +20,10 @@ constexpr double kTimeTol = 1e-9;
 void flush_allocation_metrics(const AllocationOutcome& outcome) {
   auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& allocations =
-      registry.counter("tveg.nlp.allocations");
-  static obs::Counter& constraints = registry.counter("tveg.nlp.constraints");
-  static obs::Counter& passes = registry.counter("tveg.nlp.solver_passes");
-  static obs::Counter& infeasible = registry.counter("tveg.nlp.infeasible");
+      registry.counter(obs::keys::kNlpAllocations);
+  static obs::Counter& constraints = registry.counter(obs::keys::kNlpConstraints);
+  static obs::Counter& passes = registry.counter(obs::keys::kNlpSolverPasses);
+  static obs::Counter& infeasible = registry.counter(obs::keys::kNlpInfeasible);
   allocations.add(1);
   constraints.add(outcome.constraint_count);
   passes.add(outcome.solver_passes);
@@ -178,9 +179,9 @@ AllocationOutcome allocate_energy(const TmedbInstance& instance,
   // by re-solving from a perturbed warm start with perturbed multipliers.
   if (!outcome.feasible && options.max_retries > 0) {
     auto& registry = obs::MetricsRegistry::global();
-    static obs::Counter& retries_metric = registry.counter("tveg.nlp.retries");
+    static obs::Counter& retries_metric = registry.counter(obs::keys::kNlpRetries);
     static obs::Counter& rescued_metric =
-        registry.counter("tveg.nlp.retry_successes");
+        registry.counter(obs::keys::kNlpRetrySuccesses);
     support::Rng rng(options.retry_seed);
     nlp::EnergyAllocationProblem problem(txs.size(), constraints, eps,
                                          radio.w_min, radio.w_max);

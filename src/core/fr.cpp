@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -20,10 +21,10 @@ void refine_backbone(const TmedbInstance& instance,
   Schedule backbone = result.backbone.schedule;
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& rounds_metric = registry.counter("tveg.fr.rounds");
-  static obs::Counter& removals_metric = registry.counter("tveg.fr.removals");
+  static obs::Counter& rounds_metric = registry.counter(obs::keys::kFrRounds);
+  static obs::Counter& removals_metric = registry.counter(obs::keys::kFrRemovals);
   static obs::Counter& reallocs_metric =
-      registry.counter("tveg.fr.reallocations");
+      registry.counter(obs::keys::kFrReallocations);
 
   for (std::size_t round = 0; round < fr_options.max_refine_rounds; ++round) {
     rounds_metric.add(1);
@@ -92,7 +93,7 @@ FrResult run_fr_eedcb(const TmedbInstance& instance,
   };
 
   static obs::Counter& runs_metric =
-      obs::MetricsRegistry::global().counter("tveg.fr.runs");
+      obs::MetricsRegistry::global().counter(obs::keys::kFrRuns);
   runs_metric.add(1);
 
   FrResult best = attempt(eedcb_options.method);

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
@@ -40,13 +41,13 @@ Schedule prune_schedule(const TmedbInstance& instance, Schedule schedule,
   std::size_t reductions = 0;
   std::size_t rounds = 0;
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& runs_metric = registry.counter("tveg.prune.runs");
-  static obs::Counter& rounds_metric = registry.counter("tveg.prune.rounds");
+  static obs::Counter& runs_metric = registry.counter(obs::keys::kPruneRuns);
+  static obs::Counter& rounds_metric = registry.counter(obs::keys::kPruneRounds);
   static obs::Counter& checks_metric =
-      registry.counter("tveg.prune.feasibility_checks");
-  static obs::Counter& removed_metric = registry.counter("tveg.prune.removed");
+      registry.counter(obs::keys::kPruneFeasibilityChecks);
+  static obs::Counter& removed_metric = registry.counter(obs::keys::kPruneRemoved);
   static obs::Counter& reductions_metric =
-      registry.counter("tveg.prune.level_reductions");
+      registry.counter(obs::keys::kPruneLevelReductions);
   const auto flush = [&] {
     runs_metric.add(1);
     rounds_metric.add(rounds);

@@ -4,6 +4,7 @@
 
 #include "core/aux_graph.hpp"
 #include "graph/steiner.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -77,10 +78,10 @@ std::vector<SchedulerResult> solve_many(const Tveg& tveg,
   }
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& batches = registry.counter("tveg.batch.solves");
+  static obs::Counter& batches = registry.counter(obs::keys::kBatchSolves);
   static obs::Counter& batch_requests =
-      registry.counter("tveg.batch.requests");
-  static obs::Counter& aux_reuses = registry.counter("tveg.batch.aux_reuses");
+      registry.counter(obs::keys::kBatchRequests);
+  static obs::Counter& aux_reuses = registry.counter(obs::keys::kBatchAuxReuses);
   batches.add(1);
   batch_requests.add(requests.size());
   aux_reuses.add(reused);

@@ -8,6 +8,7 @@
 #include "core/bip.hpp"
 #include "core/eedcb.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -54,8 +55,8 @@ core::SchedulerResult run_rung(SolverRung rung,
 
 void count_descent(const Error& error) {
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& descents = registry.counter("tveg.fault.solve.descents");
-  static obs::Counter& timeouts = registry.counter("tveg.fault.solve.timeouts");
+  static obs::Counter& descents = registry.counter(obs::keys::kFaultSolveDescents);
+  static obs::Counter& timeouts = registry.counter(obs::keys::kFaultSolveTimeouts);
   descents.add(1);
   if (error.code == ErrorCode::kTimeout) timeouts.add(1);
 }
@@ -68,9 +69,9 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
   obs::TraceSpan span("robust_solve");
   instance.validate();
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& solves = registry.counter("tveg.fault.solve.attempts");
+  static obs::Counter& solves = registry.counter(obs::keys::kFaultSolveAttempts);
   static obs::Counter& degraded_metric =
-      registry.counter("tveg.fault.solve.degraded");
+      registry.counter(obs::keys::kFaultSolveDegraded);
   solves.add(1);
 
   // One budget for the whole ladder: a rung that burns the clock leaves
@@ -91,7 +92,7 @@ RobustSolveResult robust_solve(const core::TmedbInstance& instance,
                                     options.budget_ms < 0 ? 0
                                                           : options.budget_ms));
 
-  static obs::Counter& skips = registry.counter("tveg.fault.solve.rung_skips");
+  static obs::Counter& skips = registry.counter(obs::keys::kFaultSolveRungSkips);
 
   RobustSolveResult out;
   SolverRung rung = options.start;

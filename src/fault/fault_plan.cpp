@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -31,7 +32,7 @@ std::uint64_t splitmix64(std::uint64_t x) {
 void count_injected(FaultKind kind, std::uint64_t n = 1) {
   auto& registry = obs::MetricsRegistry::global();
   registry
-      .counter(std::string("tveg.fault.injected.") + fault_kind_name(kind))
+      .counter(std::string(obs::keys::kFaultInjectedPrefix) + fault_kind_name(kind))
       .add(n);
   obs::flight_recorder().record(obs::FlightEventKind::kFaultInjected,
                                 static_cast<std::uint64_t>(kind), n,
@@ -190,7 +191,7 @@ FaultedTrace apply_plan(const trace::ContactTrace& input,
   support::Rng rng(plan.seed);
   FaultLog log;
 
-  obs::MetricsRegistry::global().counter("tveg.fault.plans_applied").add(1);
+  obs::MetricsRegistry::global().counter(obs::keys::kFaultPlansApplied).add(1);
 
   // Canonical contact order: the draw sequence must not depend on how the
   // caller happened to order the contacts.

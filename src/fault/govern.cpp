@@ -8,6 +8,7 @@
 #include "core/aux_graph.hpp"
 #include "graph/steiner.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/cancel.hpp"
@@ -32,12 +33,12 @@ struct GovernCounters {
   static GovernCounters& get() {
     auto& registry = obs::MetricsRegistry::global();
     static GovernCounters c{
-        registry.counter("tveg.govern.requests"),
-        registry.counter("tveg.govern.ok"),
-        registry.counter("tveg.govern.degraded"),
-        registry.counter("tveg.govern.cancelled"),
-        registry.counter("tveg.govern.errors"),
-        registry.counter("tveg.govern.shed"),
+        registry.counter(obs::keys::kGovernRequests),
+        registry.counter(obs::keys::kGovernOk),
+        registry.counter(obs::keys::kGovernDegraded),
+        registry.counter(obs::keys::kGovernCancelled),
+        registry.counter(obs::keys::kGovernErrors),
+        registry.counter(obs::keys::kGovernShed),
     };
     return c;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "online/driver.hpp"
@@ -102,13 +103,13 @@ RepairOutcome repair_schedule(const core::TmedbInstance& planned_instance,
                               const RepairOptions& options) {
   obs::TraceSpan span("schedule_repair");
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& passes = registry.counter("tveg.fault.repair.passes");
+  static obs::Counter& passes = registry.counter(obs::keys::kFaultRepairPasses);
   static obs::Counter& diverged_metric =
-      registry.counter("tveg.fault.repair.diverged");
+      registry.counter(obs::keys::kFaultRepairDiverged);
   static obs::Counter& patched_txs =
-      registry.counter("tveg.fault.repair.patch_transmissions");
+      registry.counter(obs::keys::kFaultRepairPatchTransmissions);
   static obs::Counter& recovered =
-      registry.counter("tveg.fault.repair.nodes_recovered");
+      registry.counter(obs::keys::kFaultRepairNodesRecovered);
   passes.add(1);
 
   RepairOutcome out;

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "support/assert.hpp"
@@ -92,12 +93,12 @@ struct SteinerSolver::QueryScope {
   }
   ~QueryScope() {
     auto& registry = obs::MetricsRegistry::global();
-    static obs::Counter& queries = registry.counter("tveg.steiner.queries");
-    static obs::Counter& runs = registry.counter("tveg.steiner.dijkstra_runs");
+    static obs::Counter& queries = registry.counter(obs::keys::kSteinerQueries);
+    static obs::Counter& runs = registry.counter(obs::keys::kSteinerDijkstraRuns);
     static obs::Counter& expanded =
-        registry.counter("tveg.steiner.nodes_expanded");
+        registry.counter(obs::keys::kSteinerNodesExpanded);
     static obs::Counter& relaxations =
-        registry.counter("tveg.steiner.relaxations");
+        registry.counter(obs::keys::kSteinerRelaxations);
     queries.add(1);
     runs.add(solver_.stats_.dijkstra_runs);
     expanded.add(solver_.stats_.nodes_expanded);
@@ -279,7 +280,7 @@ SteinerResult SteinerSolver::recursive_greedy(
       dist_to_term_[k] = std::move(runs[k].dist);
     }
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
-        "tveg.parallel.steiner_dijkstras");
+        obs::keys::kParallelSteinerDijkstras);
     par_runs.add(state.terminals.size());
   } else {
     support::Budget::Poller poller(budget_, "steiner", /*stride=*/16);
@@ -327,7 +328,7 @@ SteinerResult SteinerSolver::exact_small(
       sp[v] = dijkstra(g_, static_cast<VertexId>(v));
     }, budget_.cancel);
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
-        "tveg.parallel.steiner_dijkstras");
+        obs::keys::kParallelSteinerDijkstras);
     par_runs.add(n);
   } else {
     support::Budget::Poller poller(budget_, "steiner_all_source",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "support/assert.hpp"
 
@@ -123,13 +124,13 @@ NlpResult solve_augmented_lagrangian(const NlpProblem& problem,
   result.feasible = result.max_violation <= opt.feasibility_tolerance * 10;
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& solves = registry.counter("tveg.nlp.al.solves");
+  static obs::Counter& solves = registry.counter(obs::keys::kNlpAlSolves);
   static obs::Counter& outer_total =
-      registry.counter("tveg.nlp.al.outer_iterations");
+      registry.counter(obs::keys::kNlpAlOuterIterations);
   static obs::Counter& inner_total =
-      registry.counter("tveg.nlp.al.inner_iterations");
+      registry.counter(obs::keys::kNlpAlInnerIterations);
   static obs::Histogram& violation =
-      registry.histogram("tveg.nlp.al.final_violation");
+      registry.histogram(obs::keys::kNlpAlFinalViolation);
   solves.add(1);
   outer_total.add(result.outer_iterations);
   inner_total.add(result.inner_iterations);

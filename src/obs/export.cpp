@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -76,7 +77,7 @@ Json phase_attribution() {
   // per-phase duration histograms fed by TraceSpan closes; name-sorted so
   // bench reports diff cleanly.
   const MetricsRegistry::Snapshot m = MetricsRegistry::global().snapshot();
-  const std::string prefix = "tveg.obs.phase_ms.";
+  const std::string prefix = keys::kPhaseMsPrefix;
   std::map<std::string, Histogram::Snapshot> hists;
   for (const auto& [name, h] : m.histograms)
     if (name.rfind(prefix, 0) == 0) hists[name.substr(prefix.size())] = h;

@@ -1,12 +1,14 @@
 #include "obs/flight_recorder.hpp"
 
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tveg::obs {
 
@@ -96,8 +98,8 @@ FlightRecorder& flight_recorder() {
 namespace {
 
 struct DumpConfig {
-  std::mutex mutex;
-  std::string path;
+  support::Mutex mutex;
+  std::string path TVEG_GUARDED_BY(mutex);
 };
 
 DumpConfig& dump_config() {
@@ -109,20 +111,20 @@ DumpConfig& dump_config() {
 
 void set_flight_dump_path(const std::string& path) {
   DumpConfig& config = dump_config();
-  std::lock_guard lock(config.mutex);
+  support::MutexLock lock(config.mutex);
   config.path = path;
 }
 
 std::string flight_dump_path() {
   DumpConfig& config = dump_config();
-  std::lock_guard lock(config.mutex);
+  support::MutexLock lock(config.mutex);
   return config.path;
 }
 
 bool flight_dump(const char* reason) noexcept {
   auto& registry = MetricsRegistry::global();
-  static Counter& dumps = registry.counter("tveg.obs.flight_dumps");
-  static Counter& errors = registry.counter("tveg.obs.flight_dump_errors");
+  static Counter& dumps = registry.counter(keys::kObsFlightDumps);
+  static Counter& errors = registry.counter(keys::kObsFlightDumpErrors);
   flight_recorder().record(FlightEventKind::kNote, 0, 0, reason);
   const std::string path = flight_dump_path();
   if (path.empty()) return false;

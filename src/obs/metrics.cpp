@@ -134,35 +134,35 @@ void Histogram::reset() noexcept {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
   for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());

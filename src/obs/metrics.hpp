@@ -25,9 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tveg::obs {
 
@@ -134,10 +136,13 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable support::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TVEG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TVEG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TVEG_GUARDED_BY(mutex_);
 };
 
 }  // namespace tveg::obs

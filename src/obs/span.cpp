@@ -5,13 +5,15 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tveg::obs {
 
@@ -41,15 +43,15 @@ constexpr std::size_t kRingCapacity = 1 << 15;
 /// Per-thread ring; owned jointly by the thread (thread_local shared_ptr)
 /// and the registry, so records survive thread exit until the next export.
 struct Ring {
-  std::mutex mutex;  // guards everything below; uncontended except at export
-  std::vector<Record> records;  // ring storage, capacity kRingCapacity
-  std::uint64_t written = 0;    // monotone count of records ever pushed
-  std::uint64_t dropped = 0;
-  std::uint32_t slot = 0;
-  std::string name;
+  support::Mutex mutex;  // uncontended except at export
+  std::vector<Record> records TVEG_GUARDED_BY(mutex);  // capacity kRingCapacity
+  std::uint64_t written TVEG_GUARDED_BY(mutex) = 0;  // records ever pushed
+  std::uint64_t dropped TVEG_GUARDED_BY(mutex) = 0;
+  std::uint32_t slot = 0;  // written once at registration, then immutable
+  std::string name TVEG_GUARDED_BY(mutex);
 
   void push(const Record& r) {
-    std::lock_guard lock(mutex);
+    support::MutexLock lock(mutex);
     if (records.size() < kRingCapacity) {
       records.push_back(r);
     } else {
@@ -61,8 +63,10 @@ struct Ring {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Ring>> rings;
+  support::Mutex mutex;
+  // Lock order: Registry::mutex before Ring::mutex, always (export paths
+  // hold the registry lock while visiting each ring).
+  std::vector<std::shared_ptr<Ring>> rings TVEG_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -82,7 +86,7 @@ ThreadState& thread_state() {
     ThreadState s;
     s.ring = std::make_shared<Ring>();
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    support::MutexLock lock(reg.mutex);
     s.ring->slot = static_cast<std::uint32_t>(reg.rings.size());
     reg.rings.push_back(s.ring);
     return s;
@@ -97,7 +101,7 @@ std::chrono::steady_clock::time_point epoch() noexcept {
 }
 
 Counter& drop_counter() {
-  static Counter& c = MetricsRegistry::global().counter("tveg.obs.span_drops");
+  static Counter& c = MetricsRegistry::global().counter(keys::kObsSpanDrops);
   return c;
 }
 
@@ -160,7 +164,7 @@ std::uint64_t to_epoch_ns(std::chrono::steady_clock::time_point tp) noexcept {
 
 void set_current_thread_name(const std::string& name) {
   Ring& ring = *thread_state().ring;
-  std::lock_guard lock(ring.mutex);
+  support::MutexLock lock(ring.mutex);
   ring.name = name;
 }
 
@@ -203,9 +207,9 @@ Json chrome_trace() {
   std::uint64_t dropped = 0;
   {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    support::MutexLock lock(reg.mutex);
     for (const auto& ring : reg.rings) {
-      std::lock_guard ring_lock(ring->mutex);
+      support::MutexLock ring_lock(ring->mutex);
       Snapshot s;
       s.slot = ring->slot;
       s.name = ring->name;
@@ -343,10 +347,10 @@ std::string validate_chrome_trace(const Json& doc) {
 
 std::uint64_t span_drop_count() noexcept {
   Registry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   std::uint64_t dropped = 0;
   for (const auto& ring : reg.rings) {
-    std::lock_guard ring_lock(ring->mutex);
+    support::MutexLock ring_lock(ring->mutex);
     dropped += ring->dropped;
   }
   return dropped;
@@ -354,9 +358,9 @@ std::uint64_t span_drop_count() noexcept {
 
 void span_reset() {
   Registry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   for (const auto& ring : reg.rings) {
-    std::lock_guard ring_lock(ring->mutex);
+    support::MutexLock ring_lock(ring->mutex);
     ring->records.clear();
     ring->written = 0;
     ring->dropped = 0;

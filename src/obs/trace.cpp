@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <ostream>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 #ifdef __linux__
 #include <unistd.h>
@@ -52,13 +54,17 @@ struct Node {
 };
 
 struct Tree {
-  std::mutex mutex;
-  // deque: references stay valid as the tree grows.
-  std::deque<Node> nodes;
+  support::Mutex mutex;
+  // deque: references stay valid as the tree grows, so accumulation through
+  // stable Node pointers needs no lock; the deque itself (growth and child
+  // lists) is guarded.
+  std::deque<Node> nodes TVEG_GUARDED_BY(mutex);
 
-  Tree() { root(); }
+  // Single-threaded construction: no other thread can alias the tree yet,
+  // so the REQUIRES contract on root() is vacuously met.
+  Tree() TVEG_NO_THREAD_SAFETY_ANALYSIS { root(); }
 
-  std::size_t root() {
+  std::size_t root() TVEG_REQUIRES(mutex) {
     if (nodes.empty()) {
       nodes.emplace_back();
       nodes[0].name = "root";
@@ -70,7 +76,7 @@ struct Tree {
   /// (for the thread's current-phase cursor) and a stable pointer (deque
   /// references survive growth, so accumulation needs no lock).
   std::pair<std::size_t, Node*> child(std::size_t parent, const char* name) {
-    std::lock_guard lock(mutex);
+    support::MutexLock lock(mutex);
     for (std::size_t c : nodes[parent].children)
       if (nodes[c].name == name) return {c, &nodes[c]};
     const std::size_t id = nodes.size();
@@ -78,7 +84,7 @@ struct Tree {
     nodes[id].name = name;
     nodes[id].parent = parent;
     nodes[id].hist = &MetricsRegistry::global().histogram(
-        std::string("tveg.obs.phase_ms.") + name);
+        std::string(keys::kPhaseMsPrefix) + name);
     nodes[parent].children.push_back(id);
     return {id, &nodes[id]};
   }
@@ -91,7 +97,8 @@ Tree& tree() {
 
 thread_local std::size_t t_current = 0;
 
-TraceNodeSnapshot snapshot_node(const Tree& t, std::size_t id) {
+TraceNodeSnapshot snapshot_node(const Tree& t, std::size_t id)
+    TVEG_REQUIRES(t.mutex) {
   const Node& n = t.nodes[id];
   TraceNodeSnapshot s;
   s.name = n.name;
@@ -192,7 +199,7 @@ void declare_phases(std::initializer_list<const char*> names) {
 
 std::vector<TraceNodeSnapshot> trace_snapshot() {
   Tree& t = tree();
-  std::lock_guard lock(t.mutex);
+  support::MutexLock lock(t.mutex);
   std::vector<TraceNodeSnapshot> out;
   for (std::size_t c : t.nodes[0].children)
     out.push_back(snapshot_node(t, c));
@@ -213,7 +220,7 @@ std::vector<std::pair<std::string, TraceNodeSnapshot>> phase_totals() {
 
 void trace_reset() {
   Tree& t = tree();
-  std::lock_guard lock(t.mutex);
+  support::MutexLock lock(t.mutex);
   t.nodes.clear();
   t.nodes.emplace_back();
   t.nodes[0].name = "root";

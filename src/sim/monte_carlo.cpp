@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -227,14 +228,14 @@ DeliveryStats simulate_delivery(const core::Tveg& tveg, NodeId source,
           .count();
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& runs_metric = registry.counter("tveg.mc.runs");
-  static obs::Counter& trials_metric = registry.counter("tveg.mc.trials");
+  static obs::Counter& runs_metric = registry.counter(obs::keys::kMcRuns);
+  static obs::Counter& trials_metric = registry.counter(obs::keys::kMcTrials);
   static obs::Counter& draws_metric =
-      registry.counter("tveg.mc.channel_draws");
+      registry.counter(obs::keys::kMcChannelDraws);
   static obs::Gauge& rate_metric =
-      registry.gauge("tveg.mc.last_draws_per_sec");
+      registry.gauge(obs::keys::kMcLastDrawsPerSec);
   static obs::Counter& tx_faults_metric =
-      registry.counter("tveg.fault.injected.tx_failure");
+      registry.counter(obs::keys::kFaultInjectedTxFailure);
   runs_metric.add(1);
   trials_metric.add(options.trials);
   draws_metric.add(total_draws.load());

@@ -1,0 +1,102 @@
+// Capability-annotated synchronization primitives (static-analysis layer 1,
+// see DESIGN.md "Static analysis & concurrency correctness").
+//
+// Thin, zero-overhead wrappers over std::mutex / std::unique_lock /
+// std::condition_variable that carry the Clang Thread Safety Analysis
+// capability attributes. libstdc++'s std types are not annotated, so a bare
+// `std::lock_guard<std::mutex>` is invisible to -Wthread-safety; routing
+// every guarded-state lock through these wrappers makes the discipline
+// checkable at compile time under clang and costs nothing under GCC (the
+// attributes expand to nothing, the wrappers inline to the std calls).
+//
+// Condition-variable protocol: CondVar::wait takes both the MutexLock and
+// the Mutex it holds, because an attribute argument can name a function
+// parameter but not a member of one — `wait(lock, mutex_, pred)` lets the
+// REQUIRES(mu) contract bind to the actual capability. The predicate runs
+// with the lock held (the std contract) but is a separate function to the
+// analysis, hence the TVEG_NO_THREAD_SAFETY_ANALYSIS on wait predicates
+// that read guarded fields.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace tveg::support {
+
+/// std::mutex with the `capability` attribute; lock discipline on anything
+/// TVEG_GUARDED_BY one of these is compiler-checked under clang.
+class TVEG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TVEG_ACQUIRE() { m_.lock(); }
+  void unlock() TVEG_RELEASE() { m_.unlock(); }
+  bool try_lock() TVEG_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for interop (CondVar waits through it). Callers
+  /// must not lock through this handle directly — the analysis cannot see
+  /// such acquisitions.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII scoped acquisition of a Mutex (std::unique_lock underneath, so a
+/// CondVar can wait through it and early unlock() is available).
+class TVEG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) TVEG_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() TVEG_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release (the destructor then does nothing). After unlock() the
+  /// guarded state is off limits again — clang enforces this.
+  void unlock() TVEG_RELEASE() { lock_.unlock(); }
+
+  /// The wrapped unique_lock, for CondVar interop only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to support::Mutex through MutexLock. The extra
+/// Mutex& parameter exists purely so TVEG_REQUIRES can name the capability
+/// the caller must hold (it must be the mutex `lock` holds).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Pred>
+  void wait(MutexLock& lock, Mutex& mutex, Pred pred) TVEG_REQUIRES(mutex) {
+    (void)mutex;
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(MutexLock& lock, Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& d,
+                Pred pred) TVEG_REQUIRES(mutex) {
+    (void)mutex;
+    return cv_.wait_for(lock.native(), d, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tveg::support

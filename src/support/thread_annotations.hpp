@@ -1,0 +1,77 @@
+// Shim over Clang Thread Safety Analysis (static-analysis layer 1, see
+// DESIGN.md "Static analysis & concurrency correctness").
+//
+// The macros expand to the clang `capability` attribute family when the
+// compiler supports it (clang with -Wthread-safety) and to nothing
+// everywhere else, so the annotated tree stays buildable under GCC while
+// clang builds get compile-time lock-discipline checking: every field
+// marked TVEG_GUARDED_BY must only be touched with its mutex held, every
+// function marked TVEG_REQUIRES must only be called with the capability
+// held, and violations are hard errors under -Werror=thread-safety
+// (scripts/lint.sh runs that configuration whenever a clang is found).
+//
+// The annotations also feed tveg-analyze (static-analysis layer 2): the
+// cross-TU lock-order pass seeds its graph from TVEG_REQUIRES /
+// TVEG_ACQUIRE sites in addition to lock_guard/MutexLock sites, so the
+// shim is load-bearing even on toolchains where the attribute is a no-op.
+//
+// Use the support::Mutex / support::MutexLock / support::CondVar wrappers
+// (support/sync.hpp) rather than raw std::mutex for any new guarded state:
+// libstdc++'s std types carry no capability attributes, so clang cannot
+// see through a bare std::lock_guard<std::mutex>.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TVEG_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TVEG_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a type to be a capability ("mutex"-like). Lockable wrapper
+/// classes carry this; see support::Mutex.
+#define TVEG_CAPABILITY(x) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define TVEG_SCOPED_CAPABILITY \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define TVEG_GUARDED_BY(x) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointed-to data may only be touched while holding `x` (the pointer
+/// itself is unguarded).
+#define TVEG_PT_GUARDED_BY(x) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function may only be called while holding the listed capabilities.
+#define TVEG_REQUIRES(...) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while *not* holding the listed capabilities
+/// (deadlock guard for re-entrant call chains).
+#define TVEG_EXCLUDES(...) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and does not release them.
+#define TVEG_ACQUIRE(...) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define TVEG_RELEASE(...) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire and returns `ret` on success.
+#define TVEG_TRY_ACQUIRE(ret, ...) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define TVEG_RETURN_CAPABILITY(x) \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis (condition-variable wait predicates re-entered under the lock,
+/// test harness internals). Every use needs a comment saying why.
+#define TVEG_NO_THREAD_SAFETY_ANALYSIS \
+  TVEG_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

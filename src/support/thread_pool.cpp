@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -30,7 +31,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   thread_count_ = workers_.size();
   obs::MetricsRegistry::global()
-      .gauge("tveg.pool.workers")
+      .gauge(obs::keys::kPoolWorkers)
       .set(static_cast<double>(workers_.size()));
 }
 
@@ -38,7 +39,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;  // idempotent; workers already joined or joining
     stopping_ = true;
   }
@@ -49,18 +50,22 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& tasks_metric = registry.counter("tveg.pool.tasks");
+  static obs::Counter& tasks_metric = registry.counter(obs::keys::kPoolTasks);
   static obs::Histogram& wait_metric =
-      registry.histogram("tveg.pool.queue_wait_us");
+      registry.histogram(obs::keys::kPoolQueueWaitUs);
   obs::Counter& busy_metric = registry.counter(
-      "tveg.pool.worker" + std::to_string(worker_index) + ".busy_us");
+      obs::keys::kPoolWorkerPrefix + std::to_string(worker_index) + ".busy_us");
   obs::set_current_thread_name("pool-worker-" +
                                std::to_string(worker_index));
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // The predicate runs with mutex_ held (the condition-variable
+      // contract) but is a separate function to the thread-safety analysis.
+      cv_.wait(lock, mutex_, [this]() TVEG_NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !tasks_.empty();
+      });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -71,7 +76,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     // throw here would std::terminate the process. Swallow-and-count is the
     // worst case, not the contract.
     static obs::Counter& dropped_metric =
-        registry.counter("tveg.pool.uncaught_exceptions");
+        registry.counter(obs::keys::kPoolUncaughtExceptions);
     if (task.timed) {
       const auto start = Clock::now();
       wait_metric.observe(us_between(task.enqueued, start));
@@ -103,7 +108,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
     const bool timed = obs::enabled() || obs::span_tracing();
@@ -141,15 +146,16 @@ void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
     return;
   }
 
-  std::size_t remaining = chunks;  // guarded by done_mutex
+  std::size_t remaining = chunks;  // guarded by done_mutex (a local — the
+                                   // analysis cannot annotate it, TSan can)
   // One exception slot per chunk: "first exception wins" must mean the
   // lowest *chunk index*, not whichever thread reached the error mutex
   // first — a race that made multi-chunk failures nondeterministic. Writes
   // are per-slot (no lock needed); the completion barrier below sequences
   // them before the rethrow scan.
   std::vector<std::exception_ptr> chunk_error(chunks);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   auto run_chunk = [&](std::size_t chunk) {
     const std::size_t lo = begin + chunk * n / chunks;
@@ -171,12 +177,12 @@ void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
     // them — a use-after-free of the caller's stack frame (caught by the
     // TSan tier). Holding the mutex delays the waiter's predicate read
     // until this worker is done touching the locals.
-    std::lock_guard lock(done_mutex);
+    MutexLock lock(done_mutex);
     if (--remaining == 0) done_cv.notify_one();
   };
 
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       // Stopped pool: degrade to inline serial execution (outside the
       // intake lock so body may itself touch the pool without deadlock).
@@ -196,8 +202,8 @@ void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
   run_chunk(0);  // calling thread takes the first chunk
 
   {
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(done_mutex);
+    done_cv.wait(lock, done_mutex, [&] { return remaining == 0; });
   }
   for (std::size_t chunk = 0; chunk < chunks; ++chunk)
     if (chunk_error[chunk]) std::rethrow_exception(chunk_error[chunk]);

@@ -20,12 +20,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -33,6 +31,8 @@
 #include <vector>
 
 #include "support/cancel.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tveg::support {
 
@@ -108,10 +108,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::size_t thread_count_ = 0;
-  std::queue<Task> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<Task> tasks_ TVEG_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ TVEG_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience wrappers over ThreadPool::global().parallel_for.

@@ -1,6 +1,7 @@
 #include "support/watchdog.hpp"
 
 #include "obs/flight_recorder.hpp"
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 
 namespace tveg::support {
@@ -23,7 +24,7 @@ Watchdog::Watchdog(Options options) : options_(options) {
 
 Watchdog::~Watchdog() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,14 +32,14 @@ Watchdog::~Watchdog() {
 }
 
 std::uint64_t Watchdog::watch(const CancelSource& source) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t handle = next_handle_++;
   watched_.push_back({handle, source, source.polls(), Clock::now(), false});
   return handle;
 }
 
 void Watchdog::unwatch(std::uint64_t handle) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < watched_.size(); ++i)
     if (watched_[i].handle == handle) {
       watched_.erase(watched_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -47,18 +48,22 @@ void Watchdog::unwatch(std::uint64_t handle) {
 }
 
 std::uint64_t Watchdog::stalls() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stalls_;
 }
 
 void Watchdog::loop() {
   static obs::Counter& stall_metric =
-      obs::MetricsRegistry::global().counter("tveg.govern.stalls");
+      obs::MetricsRegistry::global().counter(obs::keys::kGovernStalls);
   const auto stall_window = ms_duration(options_.stall_ms);
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    cv_.wait_for(lock, ms_duration(options_.tick_ms),
-                 [this] { return stopping_; });
+    // Predicate runs under mutex_ (cv contract) but is opaque to the
+    // thread-safety analysis, hence the escape hatch.
+    cv_.wait_for(lock, mutex_, ms_duration(options_.tick_ms),
+                 [this]() TVEG_NO_THREAD_SAFETY_ANALYSIS {
+                   return stopping_;
+                 });
     if (stopping_) return;
     const auto now = Clock::now();
     for (Watched& w : watched_) {

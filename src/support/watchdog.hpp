@@ -17,13 +17,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/cancel.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tveg::support {
 
@@ -84,12 +84,12 @@ class Watchdog {
   void loop();
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::uint64_t next_handle_ = 1;
-  std::uint64_t stalls_ = 0;
-  std::vector<Watched> watched_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool stopping_ TVEG_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_handle_ TVEG_GUARDED_BY(mutex_) = 1;
+  std::uint64_t stalls_ TVEG_GUARDED_BY(mutex_) = 0;
+  std::vector<Watched> watched_ TVEG_GUARDED_BY(mutex_);
   std::thread thread_;
 };
 

@@ -1,0 +1,81 @@
+// tveg-analyze: cross-translation-unit invariant checks (static-analysis
+// layer 2, see DESIGN.md "Static analysis & concurrency correctness").
+//
+// tveg-lint checks one file at a time; clang's -Wthread-safety checks one
+// TU at a time. The invariants this tool enforces only exist *across* TUs:
+//
+//   metrics-manifest    every `tveg.*` string literal in the tree must be
+//                       declared in the src/obs/keys.hpp manifest (exact
+//                       match, or prefix match against a `*Prefix` entry for
+//                       the dynamic families) — a typo'd key can otherwise
+//                       ship and silently vanish from dashboards.
+//   flight-manifest     every `FlightEventKind::kX` used anywhere must have
+//                       its snake_case name listed in keys.hpp's
+//                       kFlightEventNames, keeping dump consumers and the
+//                       enum in lockstep.
+//   manifest-dead-key   a manifest entry nothing references (neither its
+//                       identifier nor its literal value appears outside
+//                       keys.hpp) is a dead key and fails the build.
+//   lock-order-cycle    the aggregate lock-order graph — edges from every
+//                       MutexLock / lock_guard / unique_lock acquired while
+//                       another is held, seeded with TVEG_REQUIRES
+//                       annotations — must be acyclic across the whole tree.
+//                       Two TUs can each be locally consistent and still
+//                       deadlock against each other; only a cross-TU view
+//                       catches it.
+//   noexcept-throw      a function defined `noexcept` must not contain a
+//                       reachable `throw` or call (transitively, across
+//                       TUs) a function that throws, except under a
+//                       `catch (...)` barrier. A throw crossing a noexcept
+//                       boundary is std::terminate — on a pool worker that
+//                       takes the whole process down.
+//
+// Mutex identity is the normalized lock-argument expression (whitespace
+// removed, `->` folded to `.`, leading `this.` dropped), so `reg.mutex`
+// and `ring.mutex` are distinct nodes while the same expression in two TUs
+// aggregates into one. Sequential locks through one expression (shard
+// loops) are self-edges and ignored. Function identity for the exception
+// pass is the unqualified name; propagation follows only free and
+// `::`-qualified calls through names with exactly one definition —
+// receiver-dispatched `obj.f(...)` calls and ambiguous names stop the
+// walk, since a text tool cannot resolve them (clang's per-TU analysis
+// covers what this deliberately leaves out).
+//
+// Suppression: a line containing `tveg-analyze: allow(<rule-id>)` silences
+// that rule on that line (for lock-order-cycle: drops edges recorded on
+// that line; for manifest-dead-key: on the manifest entry's line). Files
+// under tools/ are exempt, as with tveg-lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tveg::analyze {
+
+/// One violation; `line` is 1-based.
+struct Finding {
+  std::string file;
+  long line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Optional compile_commands.json; when set, its entries (restricted to
+  /// the analyzed root) define the .cpp list so the tool sees exactly what
+  /// the build compiles. Headers always come from the tree walk.
+  std::string compdb;
+};
+
+/// Every rule id this tool can emit, in documentation order.
+const std::vector<std::string>& rule_ids();
+
+/// Runs all cross-TU checks over every .hpp/.cpp under `root` (skipping
+/// tools/ and build dirs). Findings come back sorted by file then line.
+std::vector<Finding> analyze_tree(const std::string& root,
+                                  const Options& options);
+
+/// "file:line: [rule] message" — the canonical one-line rendering.
+std::string to_string(const Finding& finding);
+
+}  // namespace tveg::analyze

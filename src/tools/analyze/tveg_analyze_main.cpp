@@ -1,0 +1,83 @@
+// tveg-analyze CLI: cross-TU invariant checker for the tveg tree.
+//
+//   tveg-analyze --root src                                # whole tree
+//   tveg-analyze --root src --compdb build/compile_commands.json
+//                                                          # build-accurate
+//   tveg-analyze --root tests/analyze/corpus/bad_lock_cycle
+//                                                          # a fixture
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O failure — the same
+// convention as tveg-lint. scripts/lint.sh and scripts/ci.sh are the
+// canonical drivers; see tools/analyze/analysis.hpp for the rule table.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: tveg-analyze [options] --root <dir>\n"
+         "  --root <dir>      analyze every .hpp/.cpp under <dir> "
+         "(repeatable)\n"
+         "  --compdb <file>   compile_commands.json; restricts the .cpp "
+         "list to what the build compiles\n"
+         "  --list-rules      print the rule ids and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  tveg::analyze::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      roots.emplace_back(v);
+    } else if (arg == "--compdb") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.compdb = v;
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : tveg::analyze::rule_ids())
+        std::cout << id << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tveg-analyze: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      // bare directory arguments behave like --root, mirroring the
+      // `tveg-lint <fixture-dir>` ctest idiom
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<tveg::analyze::Finding> findings;
+  for (const std::string& root : roots) {
+    auto tree = tveg::analyze::analyze_tree(root, options);
+    findings.insert(findings.end(), tree.begin(), tree.end());
+  }
+
+  bool io_error = false;
+  for (const auto& finding : findings) {
+    if (finding.rule == "io-error") io_error = true;
+    std::cout << tveg::analyze::to_string(finding) << "\n";
+  }
+  std::cerr << "tveg-analyze: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,230 @@
+#include "tools/common/source_text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tveg::srctext {
+
+namespace fs = std::filesystem;
+
+Views strip(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Views v;
+  v.tokens.assign(text.size(), ' ');
+  v.with_strings.assign(text.size(), ' ');
+  State state = State::kCode;
+  std::string raw_delim;  // ")delim" that terminates the active raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      v.tokens[i] = '\n';
+      v.with_strings[i] = '\n';
+      if (state == State::kLine) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          std::size_t p = i + 2;
+          raw_delim = ")";
+          while (p < text.size() && text[p] != '(') raw_delim += text[p++];
+          raw_delim += '"';
+          v.tokens[i] = 'R';
+          v.with_strings[i] = 'R';
+          state = State::kRaw;
+          // keep the opening quote visible in both views
+          if (i + 1 < text.size()) {
+            v.tokens[i + 1] = '"';
+            v.with_strings[i + 1] = '"';
+            ++i;
+          }
+        } else if (c == '"') {
+          v.tokens[i] = '"';
+          v.with_strings[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          v.tokens[i] = '\'';
+          v.with_strings[i] = '\'';
+          state = State::kChar;
+        } else {
+          v.tokens[i] = c;
+          v.with_strings[i] = c;
+        }
+        break;
+      case State::kLine:
+        break;  // swallowed until newline
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        v.with_strings[i] = c;
+        if (c == '\\' && next != '\0') {
+          if (i + 1 < text.size() && next != '\n') v.with_strings[i + 1] = next;
+          ++i;
+        } else if (c == '"') {
+          v.tokens[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          v.tokens[i] = '\'';
+          v.with_strings[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        v.with_strings[i] = c;
+        if (c == ')' &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          const std::size_t end = i + raw_delim.size() - 1;
+          for (std::size_t p = i; p <= end && p < text.size(); ++p)
+            if (text[p] != '\n') v.with_strings[p] = text[p];
+          if (end < text.size()) {
+            v.tokens[end] = '"';
+            i = end;
+          }
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return v;
+}
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+long line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<long>(it - starts.begin());
+}
+
+namespace {
+
+std::string line_text(const std::string& text,
+                      const std::vector<std::size_t>& starts, long line) {
+  const auto idx = static_cast<std::size_t>(line - 1);
+  if (idx >= starts.size()) return {};
+  const std::size_t begin = starts[idx];
+  const std::size_t end =
+      idx + 1 < starts.size() ? starts[idx + 1] : text.size();
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+bool suppressed(const std::string& text,
+                const std::vector<std::size_t>& starts, long line,
+                const std::string& marker, const std::string& rule) {
+  const std::string src_line = line_text(text, starts, line);
+  const std::string tag = marker + ": allow(";
+  const std::size_t at = src_line.find(tag);
+  if (at == std::string::npos) return false;
+  const std::size_t close = src_line.find(')', at);
+  if (close == std::string::npos) return false;
+  const std::string list = src_line.substr(at, close - at);
+  return list.find(rule) != std::string::npos;
+}
+
+std::vector<std::pair<long, std::string>> suppression_sites(
+    const std::string& text, const std::string& marker) {
+  std::vector<std::pair<long, std::string>> sites;
+  const auto starts = line_starts(text);
+  const std::string tag = marker + ": allow(";
+  for (std::size_t li = 0; li < starts.size(); ++li) {
+    const long line = static_cast<long>(li + 1);
+    const std::string src_line = line_text(text, starts, line);
+    const std::size_t at = src_line.find(tag);
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + tag.size();
+    const std::size_t close = src_line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string list = src_line.substr(open, close - open);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string rule = list.substr(pos, comma - pos);
+      const auto is_space = [](unsigned char ch) { return std::isspace(ch); };
+      rule.erase(rule.begin(),
+                 std::find_if_not(rule.begin(), rule.end(), is_space));
+      rule.erase(std::find_if_not(rule.rbegin(), rule.rend(), is_space).base(),
+                 rule.end());
+      if (!rule.empty()) sites.emplace_back(line, rule);
+      pos = comma + 1;
+    }
+  }
+  return sites;
+}
+
+std::string normalized(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_ends_with(const std::string& path, const std::string& tail) {
+  const std::string p = normalized(path);
+  return p.size() >= tail.size() &&
+         p.compare(p.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+bool in_tools_dir(const std::string& path) {
+  const std::string p = normalized(path);
+  return p.find("/tools/") != std::string::npos ||
+         p.rfind("tools/", 0) == 0;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> source_files(const std::string& root,
+                                      std::string& error) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string p = it->path().generic_string();
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    if (in_tools_dir(p)) continue;
+    if (p.find("/build") != std::string::npos) continue;
+    files.push_back(p);
+  }
+  if (ec) {
+    error = ec.message();
+    return {};
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace tveg::srctext

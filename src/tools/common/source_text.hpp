@@ -1,0 +1,62 @@
+// Shared source-text machinery for the tveg developer tools (tveg-lint,
+// tveg-analyze): a comment/string-aware lexer, line mapping, per-line
+// `<tool>: allow(rule)` suppression parsing, and tree walking. Both tools
+// operate on the same stripped views so a rule that matched in one tool
+// maps to identical offsets in the other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tveg::srctext {
+
+/// Comment- and string-aware views of a source file. Both views preserve
+/// byte offsets and line structure exactly (stripped characters become
+/// spaces), so regex match positions map straight back to lines.
+struct Views {
+  std::string tokens;        ///< comments gone, string/char contents blanked
+  std::string with_strings;  ///< comments gone, string literals kept
+};
+
+/// Builds both stripped views; handles //, /* */, "..." with escapes,
+/// '...' and R"delim(...)delim" raw strings.
+Views strip(const std::string& text);
+
+/// Byte offset of the first character of each line (line 1 first).
+std::vector<std::size_t> line_starts(const std::string& text);
+
+/// 1-based line containing `offset`.
+long line_of(const std::vector<std::size_t>& starts, std::size_t offset);
+
+/// Per-line rule suppressions declared as `<marker>: allow(rule-a,rule-b)`
+/// (normally in a trailing comment); `marker` is "tveg-lint" or
+/// "tveg-analyze" so the two tools' pragmas never shadow each other.
+bool suppressed(const std::string& text,
+                const std::vector<std::size_t>& starts, long line,
+                const std::string& marker, const std::string& rule);
+
+/// The comma-separated rule list of every `<marker>: allow(...)` pragma in
+/// `text`, as (line, rule) pairs — the raw material for stale-suppression
+/// auditing.
+std::vector<std::pair<long, std::string>> suppression_sites(
+    const std::string& text, const std::string& marker);
+
+/// Path with backslashes normalized to forward slashes.
+std::string normalized(const std::string& path);
+
+/// True when the normalized path ends with `tail`.
+bool path_ends_with(const std::string& path, const std::string& tail);
+
+/// True for paths under a tools/ directory (the linters' own rule tables
+/// necessarily spell the forbidden tokens, so text rules skip them).
+bool in_tools_dir(const std::string& path);
+
+/// Whole-file read; `ok` reports whether the open succeeded.
+std::string read_file(const std::string& path, bool& ok);
+
+/// Every .hpp/.cpp under `root`, sorted, skipping tools/ and build dirs.
+/// On walk failure returns empty and sets `error` to the OS message.
+std::vector<std::string> source_files(const std::string& root,
+                                      std::string& error);
+
+}  // namespace tveg::srctext

@@ -2,173 +2,31 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <regex>
 #include <sstream>
 #include <tuple>
 
+#include "tools/common/source_text.hpp"
+
 namespace tveg::lint {
 
 namespace {
 
-namespace fs = std::filesystem;
+using srctext::Views;
+using srctext::line_of;
+using srctext::line_starts;
+using srctext::normalized;
+using srctext::path_ends_with;
+using srctext::strip;
 
-/// Comment- and string-aware views of a source file. Both views preserve
-/// byte offsets and line structure exactly (stripped characters become
-/// spaces), so regex match positions map straight back to lines.
-struct Views {
-  std::string tokens;        ///< comments gone, string/char contents blanked
-  std::string with_strings;  ///< comments gone, string literals kept
-};
-
-Views strip(const std::string& text) {
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  Views v;
-  v.tokens.assign(text.size(), ' ');
-  v.with_strings.assign(text.size(), ' ');
-  State state = State::kCode;
-  std::string raw_delim;  // ")delim" that terminates the active raw string
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      v.tokens[i] = '\n';
-      v.with_strings[i] = '\n';
-      if (state == State::kLine) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          std::size_t p = i + 2;
-          raw_delim = ")";
-          while (p < text.size() && text[p] != '(') raw_delim += text[p++];
-          raw_delim += '"';
-          v.tokens[i] = 'R';
-          v.with_strings[i] = 'R';
-          state = State::kRaw;
-          // keep the opening quote visible in both views
-          if (i + 1 < text.size()) {
-            v.tokens[i + 1] = '"';
-            v.with_strings[i + 1] = '"';
-            ++i;
-          }
-        } else if (c == '"') {
-          v.tokens[i] = '"';
-          v.with_strings[i] = '"';
-          state = State::kString;
-        } else if (c == '\'') {
-          v.tokens[i] = '\'';
-          v.with_strings[i] = '\'';
-          state = State::kChar;
-        } else {
-          v.tokens[i] = c;
-          v.with_strings[i] = c;
-        }
-        break;
-      case State::kLine:
-        break;  // swallowed until newline
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        v.with_strings[i] = c;
-        if (c == '\\' && next != '\0') {
-          if (i + 1 < text.size() && next != '\n') v.with_strings[i + 1] = next;
-          ++i;
-        } else if (c == '"') {
-          v.tokens[i] = '"';
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          ++i;
-        } else if (c == '\'') {
-          v.tokens[i] = '\'';
-          v.with_strings[i] = '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRaw:
-        v.with_strings[i] = c;
-        if (c == ')' &&
-            text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          const std::size_t end = i + raw_delim.size() - 1;
-          for (std::size_t p = i; p <= end && p < text.size(); ++p)
-            if (text[p] != '\n') v.with_strings[p] = text[p];
-          if (end < text.size()) {
-            v.tokens[end] = '"';
-            i = end;
-          }
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  return v;
-}
-
-std::vector<std::size_t> line_starts(const std::string& text) {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i < text.size(); ++i)
-    if (text[i] == '\n') starts.push_back(i + 1);
-  return starts;
-}
-
-long line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
-  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
-  return static_cast<long>(it - starts.begin());
-}
-
-/// Per-line rule suppressions declared as `tveg-lint: allow(rule-a,rule-b)`.
-bool suppressed(const std::string& text,
+/// The tveg-lint suppression marker; `honor == false` is the
+/// audit-suppressions path, which wants every finding regardless of pragmas.
+bool suppressed(bool honor, const std::string& text,
                 const std::vector<std::size_t>& starts, long line,
                 const std::string& rule) {
-  const auto idx = static_cast<std::size_t>(line - 1);
-  if (idx >= starts.size()) return false;
-  const std::size_t begin = starts[idx];
-  const std::size_t end =
-      idx + 1 < starts.size() ? starts[idx + 1] : text.size();
-  const std::string src_line = text.substr(begin, end - begin);
-  const std::size_t at = src_line.find("tveg-lint: allow(");
-  if (at == std::string::npos) return false;
-  const std::size_t close = src_line.find(')', at);
-  if (close == std::string::npos) return false;
-  const std::string list = src_line.substr(at, close - at);
-  return list.find(rule) != std::string::npos;
-}
-
-std::string normalized(const std::string& path) {
-  std::string p = path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool path_ends_with(const std::string& path, const std::string& tail) {
-  const std::string p = normalized(path);
-  return p.size() >= tail.size() &&
-         p.compare(p.size() - tail.size(), tail.size(), tail) == 0;
-}
-
-bool in_tools_dir(const std::string& path) {
-  const std::string p = normalized(path);
-  return p.find("/tools/") != std::string::npos ||
-         p.rfind("tools/", 0) == 0;
+  return honor && srctext::suppressed(text, starts, line, "tveg-lint", rule);
 }
 
 /// One regex-driven token rule; `view_with_strings` selects which stripped
@@ -211,7 +69,8 @@ bool rule_applies(const std::string& rule, const std::string& path) {
 const char* kMetricKeyPattern =
     R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli|cache|parallel|batch|govern|mem)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
 
-void check_metrics_keys(const std::string& path, const Views& views,
+void check_metrics_keys(bool honor, const std::string& path,
+                        const Views& views,
                         const std::vector<std::size_t>& starts,
                         const std::string& raw,
                         std::vector<Finding>& findings) {
@@ -225,7 +84,7 @@ void check_metrics_keys(const std::string& path, const Views& views,
     if (std::regex_match(literal, key)) continue;
     const long line =
         line_of(starts, static_cast<std::size_t>(it->position(2)));
-    if (suppressed(raw, starts, line, "metrics-key")) continue;
+    if (suppressed(honor, raw, starts, line, "metrics-key")) continue;
     findings.push_back(
         {path, line, "metrics-key",
          "metric key \"" + literal +
@@ -234,8 +93,8 @@ void check_metrics_keys(const std::string& path, const Views& views,
   }
 }
 
-void check_unchecked_result(const std::string& path, const Views& views,
-                            const std::string& raw,
+void check_unchecked_result(bool honor, const std::string& path,
+                            const Views& views, const std::string& raw,
                             std::vector<Finding>& findings) {
   std::vector<std::string> lines;
   {
@@ -269,7 +128,8 @@ void check_unchecked_result(const std::string& path, const Views& views,
         guarded = std::regex_search(hay, guard);
       }
       const long line = static_cast<long>(li + 1);
-      if (!guarded && !suppressed(raw, starts, line, "unchecked-result"))
+      if (!guarded &&
+          !suppressed(honor, raw, starts, line, "unchecked-result"))
         findings.push_back(
             {path, line, "unchecked-result",
              recv + ".value() without a visible ok()/has_value()/!" + recv +
@@ -284,7 +144,8 @@ void check_unchecked_result(const std::string& path, const Views& views,
 /// flight-recorder files (path contains "flight_record") must not touch
 /// <chrono> at all: their dumps are byte-stable for a fixed seed, so
 /// recorded payloads carry logical sequence numbers only.
-void check_no_wall_clock_in_spans(const std::string& path, const Views& views,
+void check_no_wall_clock_in_spans(bool honor, const std::string& path,
+                                  const Views& views,
                                   const std::vector<std::size_t>& starts,
                                   const std::string& raw,
                                   std::vector<Finding>& findings) {
@@ -306,7 +167,8 @@ void check_no_wall_clock_in_spans(const std::string& path, const Views& views,
       const std::size_t skip = matched.find_first_not_of(" \t(,;=");
       if (skip != std::string::npos) off += skip;
       const long line = line_of(starts, off);
-      if (suppressed(raw, starts, line, "no-wall-clock-in-spans")) continue;
+      if (suppressed(honor, raw, starts, line, "no-wall-clock-in-spans"))
+        continue;
       findings.push_back({path, line, "no-wall-clock-in-spans", message});
     }
   };
@@ -326,7 +188,8 @@ void check_no_wall_clock_in_spans(const std::string& path, const Views& views,
 /// can fire, and the pool keeps grinding the full index range anyway. Scoped
 /// to the solver layers (core/, graph/, nlp/, sim/); support/ itself hosts
 /// the mechanism and the obs/cli layers never loop on the pool.
-void check_no_unbudgeted_pool_loop(const std::string& path, const Views& views,
+void check_no_unbudgeted_pool_loop(bool honor, const std::string& path,
+                                   const Views& views,
                                    const std::vector<std::size_t>& starts,
                                    const std::string& raw,
                                    std::vector<Finding>& findings) {
@@ -359,21 +222,14 @@ void check_no_unbudgeted_pool_loop(const std::string& path, const Views& views,
     if (std::regex_search(region, budgeted)) continue;
     const long line =
         line_of(starts, static_cast<std::size_t>(it->position(0)));
-    if (suppressed(raw, starts, line, "no-unbudgeted-pool-loop")) continue;
+    if (suppressed(honor, raw, starts, line, "no-unbudgeted-pool-loop"))
+      continue;
     findings.push_back(
         {path, line, "no-unbudgeted-pool-loop",
          "parallel_for in solver code without a budget/cancel token or "
          "poll in the call region; pass options.budget.cancel (and poll "
          "the budget in the body) so governed solves can drain the pool"});
   }
-}
-
-std::string read_file(const std::string& path, bool& ok) {
-  std::ifstream in(path, std::ios::binary);
-  ok = static_cast<bool>(in);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
 }
 
 std::string shell_quote(const std::string& s) {
@@ -384,19 +240,8 @@ std::string shell_quote(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-const std::vector<std::string>& rule_ids() {
-  static const std::vector<std::string> ids = {
-      "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
-      "metrics-key",     "no-float",               "header-not-self-contained",
-      "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
-  };
-  return ids;
-}
-
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& text) {
+std::vector<Finding> lint_source_impl(const std::string& path,
+                                      const std::string& text, bool honor) {
   std::vector<Finding> findings;
   const Views views = strip(text);
   const auto starts = line_starts(text);
@@ -413,17 +258,96 @@ std::vector<Finding> lint_source(const std::string& path,
       const std::size_t skip = matched.find_first_not_of(" \t(,;=");
       if (skip != std::string::npos) off += skip;
       const long line = line_of(starts, off);
-      if (suppressed(text, starts, line, rule.id)) continue;
+      if (suppressed(honor, text, starts, line, rule.id)) continue;
       findings.push_back({path, line, rule.id, rule.message});
     }
   }
-  check_metrics_keys(path, views, starts, text, findings);
-  check_unchecked_result(path, views, text, findings);
-  check_no_wall_clock_in_spans(path, views, starts, text, findings);
-  check_no_unbudgeted_pool_loop(path, views, starts, text, findings);
+  check_metrics_keys(honor, path, views, starts, text, findings);
+  check_unchecked_result(honor, path, views, text, findings);
+  check_no_wall_clock_in_spans(honor, path, views, starts, text, findings);
+  check_no_unbudgeted_pool_loop(honor, path, views, starts, text, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
+      "metrics-key",     "no-float",               "header-not-self-contained",
+      "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
+  };
+  return ids;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& text) {
+  return lint_source_impl(path, text, /*honor=*/true);
+}
+
+std::vector<Finding> audit_file_suppressions(const std::string& path,
+                                             const std::string& text) {
+  std::vector<Finding> findings;
+  const auto sites = srctext::suppression_sites(text, "tveg-lint");
+  if (sites.empty()) return findings;
+  // What the rules would say with every pragma ignored; a pragma is live
+  // only if it still masks one of these on its own line.
+  const std::vector<Finding> unsuppressed =
+      lint_source_impl(path, text, /*honor=*/false);
+  const auto& ids = rule_ids();
+  for (const auto& [line, rule] : sites) {
+    if (std::find(ids.begin(), ids.end(), rule) == ids.end()) {
+      findings.push_back(
+          {path, line, "stale-suppression",
+           "allow(" + rule + ") names a rule tveg-lint does not have; " +
+               "fix the id or delete the pragma"});
+      continue;
+    }
+    // header-not-self-contained findings come from a compiler run, not the
+    // text rules, and always report line 1 — auditing them line-by-line
+    // would be noise, so they are exempt.
+    if (rule == "header-not-self-contained") continue;
+    const bool live = std::any_of(
+        unsuppressed.begin(), unsuppressed.end(), [&](const Finding& f) {
+          return f.line == line && f.rule == rule;
+        });
+    if (!live)
+      findings.push_back(
+          {path, line, "stale-suppression",
+           "allow(" + rule + ") no longer masks a finding on this line; " +
+               "the code was fixed or moved — delete the pragma"});
+  }
+  return findings;
+}
+
+std::vector<Finding> audit_suppressions(const std::string& root,
+                                        const Options& options) {
+  (void)options;
+  std::vector<Finding> findings;
+  std::string error;
+  const auto files = srctext::source_files(root, error);
+  if (!error.empty()) {
+    findings.push_back({root, 0, "io-error", "cannot walk tree: " + error});
+    return findings;
+  }
+  for (const std::string& file : files) {
+    bool ok = false;
+    const std::string text = srctext::read_file(file, ok);
+    if (!ok) {
+      findings.push_back({file, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    auto one = audit_file_suppressions(file, text);
+    findings.insert(findings.end(), one.begin(), one.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
             });
   return findings;
 }
@@ -453,28 +377,16 @@ std::vector<Finding> lint_header_isolation(const std::string& path,
 
 std::vector<Finding> lint_tree(const std::string& root,
                                const Options& options) {
-  std::vector<std::string> files;
-  std::error_code ec;
-  for (fs::recursive_directory_iterator it(root, ec), end;
-       it != end && !ec; it.increment(ec)) {
-    if (!it->is_regular_file()) continue;
-    const std::string p = it->path().generic_string();
-    const std::string ext = it->path().extension().string();
-    if (ext != ".hpp" && ext != ".cpp") continue;
-    if (in_tools_dir(p)) continue;
-    if (p.find("/build") != std::string::npos) continue;
-    files.push_back(p);
-  }
-  std::sort(files.begin(), files.end());
   std::vector<Finding> findings;
-  if (ec) {
-    findings.push_back({root, 0, "io-error",
-                        "cannot walk tree: " + ec.message()});
+  std::string error;
+  const auto files = srctext::source_files(root, error);
+  if (!error.empty()) {
+    findings.push_back({root, 0, "io-error", "cannot walk tree: " + error});
     return findings;
   }
   for (const std::string& file : files) {
     bool ok = false;
-    const std::string text = read_file(file, ok);
+    const std::string text = srctext::read_file(file, ok);
     if (!ok) {
       findings.push_back({file, 0, "io-error", "cannot read file"});
       continue;

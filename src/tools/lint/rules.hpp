@@ -39,6 +39,14 @@
 // a trailing comment) silences that rule on that line only. Files under a
 // `tools/` directory are exempt from the text rules — the linter's own rule
 // tables necessarily spell the forbidden tokens.
+//
+// Suppressions are themselves audited: `tveg-lint --audit-suppressions`
+// re-runs the text rules with every pragma ignored and reports, as
+//   stale-suppression
+// any allow() that no longer masks a finding of that rule on its line (the
+// code was fixed or moved) or that names a rule this checker does not have.
+// Stale pragmas are the rot that makes real suppressions unreviewable, so
+// CI fails on them like any other finding.
 #pragma once
 
 #include <string>
@@ -67,6 +75,18 @@ const std::vector<std::string>& rule_ids();
 /// (e.g. support/rng.* may name random_device) and reporting.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& text);
+
+/// Stale-suppression audit of one file: every `tveg-lint: allow(<rule>)`
+/// pragma must still mask a finding of that rule on its own line.
+/// (header-not-self-contained pragmas are exempt — that rule's findings
+/// come from a compiler run and carry no stable line.)
+std::vector<Finding> audit_file_suppressions(const std::string& path,
+                                             const std::string& text);
+
+/// audit_file_suppressions over every .hpp/.cpp under `root` (same walk as
+/// lint_tree). Findings sorted by file then line.
+std::vector<Finding> audit_suppressions(const std::string& root,
+                                        const Options& options);
 
 /// Isolated compilation of one header: `<compiler> -fsyntax-only -x c++`.
 /// Empty result when the header is self-contained.

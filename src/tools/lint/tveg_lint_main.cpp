@@ -4,6 +4,7 @@
 //   tveg-lint --root src --check-headers --include src --compiler g++
 //                                              # + isolated header compiles
 //   tveg-lint file.cpp [file2.hpp ...]         # explicit files
+//   tveg-lint --root src --audit-suppressions  # stale allow() pragmas only
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O failure — mirroring the
 // CLI's "bad input is exit 2" convention. scripts/lint.sh is the canonical
@@ -27,6 +28,9 @@ int usage() {
          "  --compiler <cxx>  compiler for --check-headers (default: $CXX "
          "or c++)\n"
          "  --check-headers   verify each header compiles in isolation\n"
+         "  --audit-suppressions\n"
+         "                    report stale tveg-lint: allow() pragmas "
+         "instead of linting\n"
          "  --list-rules      print the rule ids and exit\n";
   return 2;
 }
@@ -36,6 +40,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::vector<std::string> files;
+  bool audit = false;
   tveg::lint::Options options;
   if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
     options.compiler = cxx;
@@ -59,6 +64,8 @@ int main(int argc, char** argv) {
       options.compiler = v;
     } else if (arg == "--check-headers") {
       options.check_headers = true;
+    } else if (arg == "--audit-suppressions") {
+      audit = true;
     } else if (arg == "--list-rules") {
       for (const std::string& id : tveg::lint::rule_ids())
         std::cout << id << "\n";
@@ -78,7 +85,8 @@ int main(int argc, char** argv) {
   std::vector<tveg::lint::Finding> findings;
   bool io_error = false;
   for (const std::string& root : roots) {
-    auto tree = tveg::lint::lint_tree(root, options);
+    auto tree = audit ? tveg::lint::audit_suppressions(root, options)
+                      : tveg::lint::lint_tree(root, options);
     findings.insert(findings.end(), tree.begin(), tree.end());
   }
   for (const std::string& file : files) {
@@ -90,9 +98,10 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    auto one = tveg::lint::lint_source(file, buf.str());
+    auto one = audit ? tveg::lint::audit_file_suppressions(file, buf.str())
+                     : tveg::lint::lint_source(file, buf.str());
     findings.insert(findings.end(), one.begin(), one.end());
-    if (options.check_headers && file.size() > 4 &&
+    if (!audit && options.check_headers && file.size() > 4 &&
         file.compare(file.size() - 4, 4, ".hpp") == 0) {
       auto iso = tveg::lint::lint_header_isolation(file, options);
       findings.insert(findings.end(), iso.begin(), iso.end());

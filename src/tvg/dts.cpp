@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/keys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
@@ -70,10 +71,10 @@ DiscreteTimeSet DiscreteTimeSet::build(const TimeVaryingGraph& g,
   }
 
   auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& builds = registry.counter("tveg.dts.builds");
-  static obs::Counter& points = registry.counter("tveg.dts.points");
-  static obs::Counter& closure = registry.counter("tveg.dts.closure_steps");
-  static obs::Counter& truncations = registry.counter("tveg.dts.truncations");
+  static obs::Counter& builds = registry.counter(obs::keys::kDtsBuilds);
+  static obs::Counter& points = registry.counter(obs::keys::kDtsPoints);
+  static obs::Counter& closure = registry.counter(obs::keys::kDtsClosureSteps);
+  static obs::Counter& truncations = registry.counter(obs::keys::kDtsTruncations);
   builds.add(1);
   points.add(dts.total_points());
   closure.add(propagations);

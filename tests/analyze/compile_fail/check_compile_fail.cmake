@@ -1,0 +1,64 @@
+# Compile-fail harness for the thread-safety annotations (run via
+# `cmake -P` by the analyze.thread_safety_compile_fail ctest).
+#
+# Proves the TVEG_GUARDED_BY discipline is load-bearing, not decorative:
+# under clang, guarded_by_violation.cpp must be REJECTED by
+# -Werror=thread-safety while its locked twin guarded_by_clean.cpp is
+# accepted (so the rejection is the lock discipline, not a broken fixture).
+#
+# clang is optional in the dev container. When none is found the script
+# prints the skip marker below and exits 0; the ctest carries
+# SKIP_REGULAR_EXPRESSION on that marker, so ctest reports the test as
+# skipped, not passed (cmake 3.25's script mode cannot produce the exit-77
+# SKIP_RETURN_CODE itself). Pin a specific clang with TVEG_CLANGXX=... —
+# the same override convention as TVEG_CLANG_TIDY in scripts/lint.sh.
+if(NOT DEFINED SRC_DIR OR NOT DEFINED FIXTURE_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DSRC_DIR=<repo>/src -DFIXTURE_DIR=<this dir> -P "
+      "check_compile_fail.cmake")
+endif()
+
+set(TVEG_CLANGXX "$ENV{TVEG_CLANGXX}")
+if(NOT TVEG_CLANGXX)
+  find_program(TVEG_CLANGXX_FOUND NAMES
+      clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16
+      clang++-15 clang++-14)
+  set(TVEG_CLANGXX "${TVEG_CLANGXX_FOUND}")
+endif()
+if(NOT TVEG_CLANGXX)
+  message(STATUS "tveg: clang not found; skipping thread-safety compile-fail")
+  return()
+endif()
+
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    "-I${SRC_DIR}")
+
+execute_process(
+    COMMAND "${TVEG_CLANGXX}" ${FLAGS} "${FIXTURE_DIR}/guarded_by_clean.cpp"
+    RESULT_VARIABLE clean_rc
+    ERROR_VARIABLE clean_err)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR
+      "guarded_by_clean.cpp must compile under ${TVEG_CLANGXX} — the "
+      "harness itself is broken, not the discipline:\n${clean_err}")
+endif()
+
+execute_process(
+    COMMAND "${TVEG_CLANGXX}" ${FLAGS}
+            "${FIXTURE_DIR}/guarded_by_violation.cpp"
+    RESULT_VARIABLE bad_rc
+    ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR
+      "guarded_by_violation.cpp compiled cleanly — TVEG_GUARDED_BY is not "
+      "being enforced (annotations no-op'd under clang?)")
+endif()
+string(FIND "${bad_err}" "thread-safety" ts_diag)
+if(ts_diag EQUAL -1)
+  message(FATAL_ERROR
+      "guarded_by_violation.cpp was rejected, but not by -Wthread-safety; "
+      "the fixture has an unrelated error:\n${bad_err}")
+endif()
+
+message(STATUS
+    "tveg: thread-safety compile-fail check passed (${TVEG_CLANGXX})")

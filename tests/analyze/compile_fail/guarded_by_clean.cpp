@@ -1,0 +1,28 @@
+// Twin of guarded_by_violation.cpp with the locks in place. This one must
+// compile under clang -Werror=thread-safety — it proves the violation
+// fixture is rejected for the lock discipline, not some unrelated error
+// (missing include, bad flag, broken sync.hpp).
+#include "support/sync.hpp"
+
+class Counter {
+ public:
+  void bump() {
+    tveg::support::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read() const {
+    tveg::support::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable tveg::support::Mutex mutex_;
+  int value_ TVEG_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

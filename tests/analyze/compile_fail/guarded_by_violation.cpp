@@ -1,0 +1,27 @@
+// Compile-fail fixture: reads and writes a TVEG_GUARDED_BY field without
+// holding its mutex. Under clang -Werror=thread-safety this must NOT
+// compile — check_compile_fail.cmake asserts the rejection. (GCC compiles
+// it happily; the attributes are no-ops there, which is exactly why the
+// harness is clang-gated.)
+#include "support/sync.hpp"
+
+class Counter {
+ public:
+  void bump() {
+    ++value_;  // no lock held: -Wthread-safety rejects this line
+  }
+
+  int read() const {
+    return value_;  // and this one
+  }
+
+ private:
+  mutable tveg::support::Mutex mutex_;
+  int value_ TVEG_GUARDED_BY(mutex_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

@@ -1,0 +1,6 @@
+// manifest-dead-key fixture: uses kSolveMs but never kUnusedMs.
+#include "keys.hpp"
+
+void record(const char* key);
+
+void ok() { record(fix::keys::kSolveMs); }

@@ -1,0 +1,11 @@
+// Manifest for the manifest-dead-key fixture: kUnusedMs is referenced
+// nowhere (neither identifier nor literal value) — exactly one finding,
+// on its entry line.
+#pragma once
+
+namespace fix::keys {
+
+inline constexpr char kSolveMs[] = "tveg.fix.solve_ms";
+inline constexpr char kUnusedMs[] = "tveg.fix.unused_ms";
+
+}  // namespace fix::keys

@@ -1,0 +1,11 @@
+// flight-manifest fixture: kRungDemoted ("rung_demoted") is not listed in
+// keys.hpp's kFlightEventNames — exactly one finding, on its use line.
+#include "keys.hpp"
+
+enum class FlightEventKind { kSolveStart, kRungDemoted };
+
+void emit(FlightEventKind kind);
+
+void ok() { emit(FlightEventKind::kSolveStart); }
+
+void missing() { emit(FlightEventKind::kRungDemoted); }

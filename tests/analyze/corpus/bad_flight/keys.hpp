@@ -1,0 +1,12 @@
+// Manifest for the flight-manifest fixture: lists solve_start only; a.cpp
+// also emits FlightEventKind::kRungDemoted, whose snake_case name is
+// missing here.
+#pragma once
+
+namespace fix::keys {
+
+inline constexpr const char* kFlightEventNames[] = {
+    "solve_start",
+};
+
+}  // namespace fix::keys

@@ -1,0 +1,16 @@
+// lock-order-cycle fixture, TU 1 of 2: locally consistent (always
+// g_registry before g_ring), but b.cpp nests the opposite way — only the
+// cross-TU aggregate graph sees the cycle. No keys.hpp here: the manifest
+// rules are exercised by their own fixtures.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex g_registry;
+Mutex g_ring;
+
+void register_ring() {
+  MutexLock reg(g_registry);
+  MutexLock ring(g_ring);
+}

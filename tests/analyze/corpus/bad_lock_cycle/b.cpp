@@ -1,0 +1,15 @@
+// lock-order-cycle fixture, TU 2 of 2: nests g_ring before g_registry,
+// the reverse of a.cpp — deadlock-prone, and invisible to any single-TU
+// analysis.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex g_registry;
+Mutex g_ring;
+
+void flush_ring() {
+  MutexLock ring(g_ring);
+  MutexLock reg(g_registry);
+}

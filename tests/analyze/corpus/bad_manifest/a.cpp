@@ -1,0 +1,9 @@
+// metrics-manifest fixture: "tveg.fix.typo_ms" is not declared in
+// keys.hpp — exactly one finding, on the typo line.
+#include "keys.hpp"
+
+void record(const char* key);
+
+void ok() { record(fix::keys::kSolveMs); }
+
+void typo() { record("tveg.fix.typo_ms"); }

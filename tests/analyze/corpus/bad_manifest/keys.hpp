@@ -1,0 +1,9 @@
+// Manifest for the metrics-manifest fixture: declares one key; a.cpp
+// emits a second, undeclared one.
+#pragma once
+
+namespace fix::keys {
+
+inline constexpr char kSolveMs[] = "tveg.fix.solve_ms";
+
+}  // namespace fix::keys

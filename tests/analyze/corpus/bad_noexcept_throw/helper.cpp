@@ -1,0 +1,6 @@
+// noexcept-throw fixture, TU 1 of 2: fail_fast() throws. It is not
+// noexcept itself, so this TU alone is clean — the violation is in
+// worker.cpp, which calls it from a noexcept function.
+#include <stdexcept>
+
+void fail_fast() { throw std::runtime_error("boom"); }

@@ -1,0 +1,16 @@
+// noexcept-throw fixture, TU 2 of 2: two findings — run() reaches the
+// throwing fail_fast() (defined in helper.cpp) from a noexcept body, and
+// bail() throws directly inside noexcept. safe() wraps the same call in a
+// catch (...) barrier and must NOT be flagged.
+void fail_fast();
+
+void run() noexcept { fail_fast(); }
+
+void bail() noexcept { throw 1; }
+
+void safe() noexcept {
+  try {
+    fail_fast();
+  } catch (...) {
+  }
+}

@@ -1,0 +1,38 @@
+// Clean fixture: uses every manifest key (so no manifest-dead-key), only
+// declared keys (so no metrics-manifest), nests the two mutexes in one
+// consistent order in both functions (so no lock-order-cycle), keeps the
+// noexcept path throw-free, and carries one justified suppression that the
+// analyzer must honor.
+#include "keys.hpp"
+
+enum class FlightEventKind { kSolveStart };
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex g_registry;
+Mutex g_ring;
+
+void record(const char* key);
+
+void consistent_a() {
+  MutexLock reg(g_registry);
+  MutexLock ring(g_ring);
+  record(fix::keys::kSolveMs);
+}
+
+void consistent_b() {
+  MutexLock reg(g_registry);
+  MutexLock ring(g_ring);
+  record(fix::keys::kPoolPrefix);
+  record("tveg.fix.pool.worker0");  // prefix family: matches kPoolPrefix
+  (void)FlightEventKind::kSolveStart;
+}
+
+void quiet() noexcept { record(fix::keys::kSolveMs); }
+
+void justified() {
+  record("tveg.fix.legacy");  // tveg-analyze: allow(metrics-manifest)
+}

@@ -1,0 +1,16 @@
+// Fixture manifest: the corpus twin of src/obs/keys.hpp. Every entry here
+// is referenced by clean/a.cpp, the prefix entry covers the dynamic
+// family, and kFlightEventNames lists every enum value a.cpp emits —
+// tveg-analyze must come back empty on this tree.
+#pragma once
+
+namespace fix::keys {
+
+inline constexpr char kSolveMs[] = "tveg.fix.solve_ms";
+inline constexpr char kPoolPrefix[] = "tveg.fix.pool.";
+
+inline constexpr const char* kFlightEventNames[] = {
+    "solve_start",
+};
+
+}  // namespace fix::keys

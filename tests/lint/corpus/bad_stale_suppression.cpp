@@ -1,0 +1,13 @@
+// --audit-suppressions fixture: two stale pragmas. Line 8 suppresses a
+// rule that does not fire there (nothing wall-clock on the line), line 9
+// names a rule that does not exist. The live suppression on line 12 is
+// load-bearing (rand() really does fire no-unseeded-rng) and must NOT be
+// reported.
+#include <cstdlib>
+
+int stale() { return 1; }  // tveg-lint: allow(no-wall-clock)
+int bogus() { return 2; }  // tveg-lint: allow(no-such-rule)
+
+int live() {
+  return std::rand();  // tveg-lint: allow(no-unseeded-rng)
+}

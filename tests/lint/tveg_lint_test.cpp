@@ -203,5 +203,32 @@ TEST(TvegLint, UnbudgetedPoolLoopFlaggedInSolverLayersOnly) {
   EXPECT_TRUE(lint_source("src/nlp/hot.cpp", allowed).empty());
 }
 
+TEST(TvegLint, AuditFlagsStaleAndUnknownSuppressionsOnly) {
+  const auto findings =
+      audit_file_suppressions("bad_stale_suppression.cpp",
+                              read_corpus("bad_stale_suppression.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  // Line 8: allow(no-wall-clock) with nothing wall-clock on the line.
+  EXPECT_EQ(findings[0].rule, "stale-suppression");
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("no-wall-clock"), std::string::npos);
+  // Line 9: allow(no-such-rule) names a rule tveg-lint does not have.
+  EXPECT_EQ(findings[1].rule, "stale-suppression");
+  EXPECT_EQ(findings[1].line, 9);
+  EXPECT_NE(findings[1].message.find("no-such-rule"), std::string::npos);
+  // The live allow(no-unseeded-rng) on line 12 produced no third finding.
+}
+
+TEST(TvegLint, AuditPassesLoadBearingSuppressions) {
+  const std::string live =
+      "int f() { return rand(); }  // tveg-lint: allow(no-unseeded-rng)\n";
+  EXPECT_TRUE(audit_file_suppressions("s.cpp", live).empty());
+  // header-not-self-contained pragmas sit at file scope, not on a finding
+  // line, so the per-line audit exempts them rather than cry stale.
+  const std::string header_pragma =
+      "// tveg-lint: allow(header-not-self-contained)\n";
+  EXPECT_TRUE(audit_file_suppressions("h.hpp", header_pragma).empty());
+}
+
 }  // namespace
 }  // namespace tveg::lint
