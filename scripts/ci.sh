@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI driver, six stages:
+# CI driver, seven stages:
 #   plain  build (TVEG_WERROR=ON: -Werror + the hardened -Wconversion
 #          -Wdouble-promotion -Wnon-virtual-dtor tier) + full test suite
 #   obs    observability end-to-end: a threaded sweep with --trace-out and
@@ -13,6 +13,9 @@
 #          this script's build-ci tree via TVEG_LINT_BUILD_DIR, so it adds
 #          two tool links to an incremental build instead of a second
 #          configure-from-scratch.
+#   fuzz   scripts/fuzz.sh smoke: coverage-guided libFuzzer for a short
+#          budget when clang is available, pinned-corpus replay through
+#          the plain build's replay drivers otherwise
 #   asan   suite under AddressSanitizer; also drives the malformed-input
 #          trace corpus through the CLI parser, so every rejection path
 #          runs under ASan with real file I/O
@@ -26,9 +29,11 @@
 #
 # Usage: scripts/ci.sh [--fast] [--bench]
 #   --fast   plain build + ctest + lint.sh --lint-only (skips obs, the
-#            clang-tidy/thread-safety lint layers, sanitizer and soak
-#            tiers — but never tveg-lint or tveg-analyze: the project
-#            invariant checkers gate every speed setting)
+#            clang-tidy/thread-safety lint layers, the fuzz smoke, and the
+#            sanitizer and soak tiers — but never tveg-lint or
+#            tveg-analyze: the project invariant checkers gate every speed
+#            setting; the fuzz.corpus_replay ctests still ran with the
+#            plain suite)
 #   --bench  additionally run scripts/bench_gate.sh (bench regression gate)
 set -euo pipefail
 
@@ -184,12 +189,23 @@ drive_soak() {
 
 run_suite "plain" "${REPO_ROOT}/build-ci" -DTVEG_WERROR=ON
 
+drive_fuzz() {
+  # Fuzz smoke: coverage-guided for a short budget when clang is on the
+  # PATH, otherwise a corpus replay through the plain build's replay
+  # drivers (scripts/fuzz.sh picks the mode). Either way the pinned corpus
+  # must come through clean.
+  echo "==== [fuzz] scripts/fuzz.sh smoke ===="
+  FUZZ_SECONDS=10 BUILD_DIR="${REPO_ROOT}/build-ci" \
+      "${REPO_ROOT}/scripts/fuzz.sh"
+}
+
 if [[ "${FAST}" -eq 1 ]]; then
   echo "==== [lint] scripts/lint.sh --lint-only ===="
   TVEG_LINT_BUILD_DIR="${REPO_ROOT}/build-ci" \
       "${REPO_ROOT}/scripts/lint.sh" --lint-only
 else
   drive_obs "${REPO_ROOT}/build-ci"
+  drive_fuzz
   echo "==== [lint] scripts/lint.sh ===="
   TVEG_LINT_BUILD_DIR="${REPO_ROOT}/build-ci" "${REPO_ROOT}/scripts/lint.sh"
   run_suite "asan" "${REPO_ROOT}/build-asan" -DTVEG_SANITIZE=address

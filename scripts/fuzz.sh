@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Fuzz driver, two modes picked automatically:
+#
+#   clang present   configure build-fuzz with -DTVEG_FUZZ=ON under clang
+#                   and run each libFuzzer target coverage-guided for
+#                   FUZZ_SECONDS (default 30) seconds, seeded from the
+#                   pinned corpus. New crashing inputs land in
+#                   build-fuzz/artifacts/ — minimize them and commit the
+#                   reproducer into tests/fuzz/corpus/<target>/.
+#
+#   gcc only        build the replay drivers in the plain tree and re-run
+#                   the pinned corpus through them (the same check the
+#                   fuzz.corpus_replay ctests run on every suite run).
+#
+# Usage: scripts/fuzz.sh [--replay-only]
+#   --replay-only  skip coverage-guided fuzzing even when clang exists
+#                  (CI smoke uses this on runners without clang anyway)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
+REPLAY_ONLY=0
+for arg in "$@"; do
+  case "${arg}" in
+    --replay-only) REPLAY_ONLY=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+CORPUS="${REPO_ROOT}/tests/fuzz/corpus"
+declare -A SEEDS=(
+  [trace_parse]="${REPO_ROOT}/tests/trace/corpus ${CORPUS}/trace"
+  [schedule_io]="${CORPUS}/schedule ${REPO_ROOT}/tests/certify/corpus"
+  [cli_args]="${CORPUS}/cli"
+)
+
+if [[ "${REPLAY_ONLY}" -eq 0 ]] && command -v clang++ >/dev/null 2>&1; then
+  BUILD="${REPO_ROOT}/build-fuzz"
+  echo "==== [fuzz] coverage-guided (clang + libFuzzer), ${FUZZ_SECONDS}s/target ===="
+  cmake -B "${BUILD}" -S "${REPO_ROOT}" -DTVEG_FUZZ=ON \
+        -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD}" -j "${JOBS}" \
+        --target fuzz_trace_parse fuzz_schedule_io fuzz_cli_args
+  mkdir -p "${BUILD}/artifacts"
+  for target in trace_parse schedule_io cli_args; do
+    work="${BUILD}/corpus-${target}"
+    mkdir -p "${work}"
+    echo "==== [fuzz] ${target} ===="
+    # shellcheck disable=SC2086
+    "${BUILD}/tests/fuzz_${target}" "${work}" ${SEEDS[${target}]} \
+        -max_total_time="${FUZZ_SECONDS}" -timeout=10 -rss_limit_mb=2048 \
+        -artifact_prefix="${BUILD}/artifacts/${target}-"
+  done
+  echo "==== [fuzz] clean: no crashes in ${FUZZ_SECONDS}s/target ===="
+else
+  BUILD="${BUILD_DIR:-${REPO_ROOT}/build}"
+  echo "==== [fuzz] replay mode (no clang): pinned corpus through replay drivers ===="
+  cmake -B "${BUILD}" -S "${REPO_ROOT}" >/dev/null
+  cmake --build "${BUILD}" -j "${JOBS}" \
+        --target fuzz_trace_parse_replay fuzz_schedule_io_replay \
+                 fuzz_cli_args_replay >/dev/null
+  for target in trace_parse schedule_io cli_args; do
+    # shellcheck disable=SC2086
+    "${BUILD}/tests/fuzz_${target}_replay" ${SEEDS[${target}]}
+  done
+  echo "==== [fuzz] clean: corpus replayed without findings ===="
+fi

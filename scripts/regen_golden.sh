@@ -5,6 +5,11 @@
 # fixture diff, and commit the new fixtures together with the change that
 # moved them. A drifting fixture you did not expect is a bug, not a reason
 # to regenerate.
+#
+# Every schedule is run through the independent certifier (tveg-certify's
+# certify::verify) BEFORE the fixture file is written; a schedule that
+# fails certification aborts the regen, so an infeasible fixture can never
+# be committed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,53 @@
+#include "cli/args.hpp"
+
+namespace tveg::cli {
+
+Args::Args(int argc, const char* const* argv, const Spec& spec) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0 || a == "--") {
+      positional_.push_back(a);
+      continue;
+    }
+    std::string key = a.substr(2);
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      const std::string value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      if (spec.flags.count(key))
+        throw UsageError("option --" + key + " takes no value");
+      if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
+      values_[key] = value;
+      continue;
+    }
+    if (spec.flags.count(key)) {
+      values_[key] = "1";
+      continue;
+    }
+    if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
+    if (i + 1 >= argc) throw UsageError("option --" + key + " needs a value");
+    values_[key] = argv[++i];
+  }
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get_num(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("option --" + key + " expects a number, got '" +
+                     it->second + "'");
+  }
+}
+
+}  // namespace tveg::cli

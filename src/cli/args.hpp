@@ -1,0 +1,48 @@
+// Command-line option parsing shared by the tmedb and tveg-certify front
+// ends (and fuzzed directly by tests/fuzz/fuzz_cli_args.cpp).
+//
+// Each command declares which options it accepts and which of those are
+// valueless boolean flags, so unknown options are rejected and flags never
+// swallow the next token. Both --key value and --key=value spellings work.
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tveg::cli {
+
+/// Bad command line (unknown option, missing value, non-numeric value, ...):
+/// callers print the message and their usage text, then exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// --key value / --key=value argument parser.
+class Args {
+ public:
+  struct Spec {
+    std::set<std::string> valued;  ///< options taking a value
+    std::set<std::string> flags;   ///< valueless boolean options
+  };
+
+  /// Parses argv against `spec`; throws UsageError on an unknown option, a
+  /// flag given a value, or a valued option missing its value.
+  Args(int argc, const char* const* argv, const Spec& spec);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  /// Numeric value of --key; throws UsageError when the value does not parse
+  /// completely as a finite-or-infinite double.
+  double get_num(const std::string& key, double fallback) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tveg::cli

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/args.hpp"
 #include "core/schedule_io.hpp"
 #include "fault/degrade.hpp"
 #include "fault/fault_plan.hpp"
@@ -36,75 +37,8 @@ namespace {
 
 using namespace tveg;
 
-/// Bad command line (unknown option, missing value, ...): print the message
-/// and the usage text, exit 2.
-class UsageError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// --key value / --key=value argument parser. Each command declares which
-/// options it accepts and which of those are valueless boolean flags, so
-/// unknown options are rejected and flags never swallow the next token.
-class Args {
- public:
-  struct Spec {
-    std::set<std::string> valued;  ///< options taking a value
-    std::set<std::string> flags;   ///< valueless boolean options
-  };
-
-  Args(int argc, char** argv, const Spec& spec) {
-    for (int i = 0; i < argc; ++i) {
-      const std::string a = argv[i];
-      if (a.rfind("--", 0) != 0 || a == "--") {
-        positional_.push_back(a);
-        continue;
-      }
-      std::string key = a.substr(2);
-      const std::size_t eq = key.find('=');
-      if (eq != std::string::npos) {
-        const std::string value = key.substr(eq + 1);
-        key = key.substr(0, eq);
-        if (spec.flags.count(key))
-          throw UsageError("option --" + key + " takes no value");
-        if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
-        values_[key] = value;
-        continue;
-      }
-      if (spec.flags.count(key)) {
-        values_[key] = "1";
-        continue;
-      }
-      if (!spec.valued.count(key)) throw UsageError("unknown option --" + key);
-      if (i + 1 >= argc) throw UsageError("option --" + key + " needs a value");
-      values_[key] = argv[++i];
-    }
-  }
-
-  bool has(const std::string& key) const { return values_.count(key) != 0; }
-  std::string get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  double get_num(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(it->second, &used);
-      if (used != it->second.size()) throw std::invalid_argument(it->second);
-      return v;
-    } catch (const std::exception&) {
-      throw UsageError("option --" + key + " expects a number, got '" +
-                       it->second + "'");
-    }
-  }
-  const std::vector<std::string>& positional() const { return positional_; }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
+using cli::Args;
+using cli::UsageError;
 
 /// Per-command option specs; commands absent here accept no options.
 const Args::Spec& spec_for(const std::string& cmd) {

@@ -102,6 +102,9 @@ CascadeResult run_cascade(const TmedbInstance& instance,
   const double eps = instance.effective_epsilon();
   const auto n = static_cast<std::size_t>(tveg.node_count());
   const auto& txs = schedule.transmissions();
+  for (const Transmission& tx : txs)
+    TVEG_REQUIRE(tx.relay >= 0 && static_cast<std::size_t>(tx.relay) < n,
+                 "schedule relay out of range");
 
   // Work in log space to avoid underflow on long products.
   std::vector<double> log_p(n, 0.0);
@@ -213,6 +216,20 @@ FeasibilityReport check_feasibility(const TmedbInstance& instance,
       report.costs_in_range = false;
       if (report.reason.empty()) report.reason = "cost outside [w_min, w_max]";
       break;
+    }
+  }
+
+  // A relay id outside the node set (hostile schedule file) makes the
+  // cascade meaningless: report infeasible instead of tripping the
+  // cascade's precondition.
+  for (const Transmission& tx : schedule.transmissions()) {
+    if (tx.relay < 0 || tx.relay >= tveg.node_count()) {
+      report.relays_informed = false;
+      report.all_informed = false;
+      report.max_uninformed_probability = 1.0;
+      if (report.reason.empty()) report.reason = "relay node id out of range";
+      report.feasible = false;
+      return report;
     }
   }
 

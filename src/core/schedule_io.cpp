@@ -31,6 +31,9 @@ Schedule read_schedule(std::istream& in) {
     Cost cost;
     if (!(is >> relay >> time >> cost))
       TVEG_REQUIRE(false, "malformed schedule line: " + line);
+    is >> std::ws;
+    TVEG_REQUIRE(is.eof(), "trailing garbage on schedule line: " + line);
+    TVEG_REQUIRE(relay >= 0, "negative relay id on schedule line: " + line);
     schedule.add(relay, time, cost);
   }
   return schedule;

@@ -1,0 +1,186 @@
+// tveg-certify: standalone schedule certifier.
+//
+//   tveg-certify --trace contacts.trace --schedule out.sched
+//                --deadline 1500 --eps 0.01
+//
+// Certifies the schedule against the paper's feasibility conditions using
+// the independent oracle in tools/certify (no solver code). Prints a JSON
+// verdict on stdout and a human-readable summary on stderr.
+//
+// Exit status: 0 = schedule certified feasible, 1 = schedule rejected,
+// 2 = usage error or unreadable/malformed input.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "tools/certify/certify.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+using tveg::certify::Options;
+using tveg::cli::Args;
+using tveg::cli::UsageError;
+
+constexpr const char* kUsage = R"(usage: tveg-certify --trace FILE --schedule FILE --deadline T [options]
+
+required:
+  --trace FILE        contact trace (tveg-trace text format)
+  --schedule FILE     schedule to certify (tveg-schedule text format)
+  --deadline T        delay constraint T (must lie in (0, horizon])
+
+problem options:
+  --eps E             reliability bound (default 0.01)
+  --source N          source node (default 0)
+  --tau T             edge traversal latency (default 0)
+  --budget C          energy budget (default: unconstrained)
+  --targets A,B,...   nodes that must be informed (default: all)
+
+trace options (when the file has no header line):
+  --nodes N           node count
+  --horizon T         time horizon
+
+channel options (defaults: the paper Sec. VII radio):
+  --model M           step | rayleigh | nakagami | rician (default step)
+  --nakagami-m M      Nakagami shape (default 2)
+  --rician-k K        Rician K-factor (default 3)
+  --noise N0          noise power density (default 4.32e-21)
+  --gamma-db G        decoding SNR threshold in dB (default 25.9)
+  --alpha A           path-loss exponent (default 2)
+  --w-min W           minimum per-transmission cost (default 0)
+  --w-max W           maximum per-transmission cost (default inf)
+
+certifier options:
+  --no-dts-check      skip the DTS-membership check (condition v)
+  --dts-tol T         DTS membership tolerance (default 1e-6)
+  --json FILE         also write the JSON verdict to FILE
+  --quiet             suppress the human-readable summary on stderr
+)";
+
+tveg::channel::ChannelModel parse_model(const std::string& name) {
+  if (name == "step") return tveg::channel::ChannelModel::kStep;
+  if (name == "rayleigh") return tveg::channel::ChannelModel::kRayleigh;
+  if (name == "nakagami") return tveg::channel::ChannelModel::kNakagami;
+  if (name == "rician") return tveg::channel::ChannelModel::kRician;
+  throw UsageError("unknown channel model '" + name + "'");
+}
+
+std::vector<tveg::NodeId> parse_targets(const std::string& list) {
+  std::vector<tveg::NodeId> out;
+  std::stringstream ss(list);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    try {
+      std::size_t used = 0;
+      const int v = std::stoi(tok, &used);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw UsageError("--targets expects a comma-separated node list, got '" +
+                       tok + "'");
+    }
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const Args::Spec spec{
+      {"trace", "schedule", "deadline", "eps", "source", "tau", "budget",
+       "targets", "nodes", "horizon", "model", "nakagami-m", "rician-k",
+       "noise", "gamma-db", "alpha", "w-min", "w-max", "dts-tol", "json"},
+      {"no-dts-check", "quiet", "help"}};
+  const Args args(argc - 1, argv + 1, spec);
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  for (const char* req : {"trace", "schedule", "deadline"})
+    if (!args.has(req))
+      throw UsageError(std::string("missing required option --") + req);
+  if (!args.positional().empty())
+    throw UsageError("unexpected positional argument '" +
+                     args.positional().front() + "'");
+
+  Options opt;
+  opt.deadline = args.get_num("deadline", 0);
+  opt.epsilon = args.get_num("eps", opt.epsilon);
+  opt.source = static_cast<tveg::NodeId>(args.get_num("source", 0));
+  opt.tau = args.get_num("tau", 0);
+  opt.budget = args.get_num("budget", -1);
+  if (args.has("targets")) opt.targets = parse_targets(args.get("targets", ""));
+  opt.model = parse_model(args.get("model", "step"));
+  opt.nakagami_m = args.get_num("nakagami-m", opt.nakagami_m);
+  opt.rician_k = args.get_num("rician-k", opt.rician_k);
+  opt.noise_density = args.get_num("noise", opt.noise_density);
+  opt.decoding_threshold_db = args.get_num("gamma-db",
+                                           opt.decoding_threshold_db);
+  opt.path_loss_exponent = args.get_num("alpha", opt.path_loss_exponent);
+  opt.w_min = args.get_num("w-min", opt.w_min);
+  opt.w_max = args.get_num("w-max", opt.w_max);
+  opt.dts_tolerance = args.get_num("dts-tol", opt.dts_tolerance);
+  opt.check_dts = !args.has("no-dts-check");
+
+  tveg::trace::ParseOptions trace_opt;
+  trace_opt.nodes = static_cast<tveg::NodeId>(args.get_num("nodes", 0));
+  trace_opt.horizon = args.get_num("horizon", 0);
+  auto trace = tveg::trace::parse_trace_file(args.get("trace", ""), trace_opt);
+  if (!trace) {
+    std::cerr << "tveg-certify: trace: " << trace.error().to_string() << "\n";
+    return 2;
+  }
+
+  std::vector<tveg::certify::Transmission> schedule;
+  try {
+    schedule = tveg::certify::parse_schedule_file(args.get("schedule", ""));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "tveg-certify: schedule: " << e.what() << "\n";
+    return 2;
+  }
+
+  tveg::certify::Verdict verdict;
+  try {
+    verdict = tveg::certify::verify(trace.value(), schedule, opt);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "tveg-certify: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << verdict.json() << "\n";
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", ""));
+    out << verdict.json() << "\n";
+    if (!out) {
+      std::cerr << "tveg-certify: cannot write " << args.get("json", "")
+                << "\n";
+      return 2;
+    }
+  }
+  if (!args.has("quiet")) {
+    std::cerr << (verdict.feasible ? "FEASIBLE" : "REJECTED") << " ("
+              << verdict.transmissions << " transmissions, total cost "
+              << verdict.total_cost << ")\n";
+    for (const auto& c : verdict.checks)
+      if (!c.passed)
+        std::cerr << "  failed " << c.id
+                  << (c.detail.empty() ? "" : ": " + c.detail) << "\n";
+  }
+  return verdict.exit_code();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "tveg-certify: " << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "tveg-certify: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -215,7 +215,11 @@ std::vector<std::string> source_files(const std::string& root,
     const std::string p = it->path().generic_string();
     const std::string ext = it->path().extension().string();
     if (ext != ".hpp" && ext != ".cpp") continue;
-    if (in_tools_dir(p)) continue;
+    // tools/ sources are exempt (their rule tables spell the forbidden
+    // tokens) — except the certifier, which the no-core-include-in-certify
+    // independence rule exists to police and which triggers no other rule.
+    if (in_tools_dir(p) && p.find("tools/certify") == std::string::npos)
+      continue;
     if (p.find("/build") != std::string::npos) continue;
     files.push_back(p);
   }

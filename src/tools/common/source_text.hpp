@@ -54,8 +54,10 @@ bool in_tools_dir(const std::string& path);
 /// Whole-file read; `ok` reports whether the open succeeded.
 std::string read_file(const std::string& path, bool& ok);
 
-/// Every .hpp/.cpp under `root`, sorted, skipping tools/ and build dirs.
-/// On walk failure returns empty and sets `error` to the OS message.
+/// Every .hpp/.cpp under `root`, sorted, skipping tools/ (except
+/// tools/certify, which the certifier-independence lint rule polices) and
+/// build dirs. On walk failure returns empty and sets `error` to the OS
+/// message.
 std::vector<std::string> source_files(const std::string& root,
                                       std::string& error);
 

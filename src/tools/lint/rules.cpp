@@ -232,6 +232,45 @@ void check_no_unbudgeted_pool_loop(bool honor, const std::string& path,
   }
 }
 
+/// Certifier-independence invariant: src/tools/certify re-derives schedule
+/// feasibility from the paper text, so a certifier bug and a solver bug
+/// would have to agree twice for a bad schedule to pass. That argument dies
+/// the moment certify code includes solver headers — so certify-scoped
+/// files (path contains "certify", excluding tests/certify/, whose sweep
+/// tests legitimately drive the solvers) may include only support/, trace/,
+/// channel/, cli/, tvg/types.hpp and their own headers. Direct includes
+/// only: trace/contact_trace.hpp transitively pulls the TVG container, the
+/// one documented exception (see tools/certify/certify.hpp).
+void check_no_core_include_in_certify(bool honor, const std::string& path,
+                                      const Views& views,
+                                      const std::vector<std::size_t>& starts,
+                                      const std::string& raw,
+                                      std::vector<Finding>& findings) {
+  const std::string p = normalized(path);
+  const bool in_scope = p.find("certify") != std::string::npos &&
+                        p.find("tests/certify") == std::string::npos;
+  if (!in_scope) return;
+  static const std::regex include(R"re(#\s*include\s*"([^"\n]+)")re");
+  static const std::regex forbidden(
+      R"(^(core|graph|nlp|sim|fault|online)/|^tvg/(dts|time_varying_graph)\.hpp$)");
+  for (auto it = std::sregex_iterator(views.with_strings.begin(),
+                                      views.with_strings.end(), include);
+       it != std::sregex_iterator(); ++it) {
+    const std::string header = (*it)[1].str();
+    if (!std::regex_search(header, forbidden)) continue;
+    const long line =
+        line_of(starts, static_cast<std::size_t>(it->position(0)));
+    if (suppressed(honor, raw, starts, line, "no-core-include-in-certify"))
+      continue;
+    findings.push_back(
+        {path, line, "no-core-include-in-certify",
+         "certifier code includes solver header \"" + header +
+             "\"; tveg-certify must stay independent of the implementation "
+             "it checks (allowed: support/, trace/, channel/, cli/, "
+             "tvg/types.hpp)"});
+  }
+}
+
 std::string shell_quote(const std::string& s) {
   std::string out = "'";
   for (const char c : s)
@@ -266,6 +305,8 @@ std::vector<Finding> lint_source_impl(const std::string& path,
   check_unchecked_result(honor, path, views, text, findings);
   check_no_wall_clock_in_spans(honor, path, views, starts, text, findings);
   check_no_unbudgeted_pool_loop(honor, path, views, starts, text, findings);
+  check_no_core_include_in_certify(honor, path, views, starts, text,
+                                   findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -280,6 +321,7 @@ const std::vector<std::string>& rule_ids() {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
       "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
+      "no-core-include-in-certify",
   };
   return ids;
 }

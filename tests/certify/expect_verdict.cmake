@@ -1,0 +1,28 @@
+# ctest runner for the broken-schedule corpus: runs tveg-certify and
+# asserts the exact exit status (0 = certified, 1 = rejected, 2 = usage)
+# plus, optionally, that one specific named check is the one that failed.
+# WILL_FAIL would conflate "rejected" (1) with "crashed / bad usage" (2),
+# so the exit code is compared exactly here.
+#
+# Inputs: -DCERTIFY=<tveg-certify path> -DARGS="<cli args>"
+#         -DEXPECT_EXIT=<0|1|2> [-DEXPECT_FAIL=<check id>]
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${CERTIFY} ${arg_list}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc STREQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+    "expected exit ${EXPECT_EXIT}, got '${rc}'\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(EXPECT_FAIL)
+  string(FIND "${out}" "\"id\":\"${EXPECT_FAIL}\",\"passed\":false" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "expected check '${EXPECT_FAIL}' to fail\nstdout: ${out}")
+  endif()
+endif()
+if(EXPECT_EXIT EQUAL 0)
+  string(FIND "${out}" "\"feasible\":true" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "expected a feasible verdict\nstdout: ${out}")
+  endif()
+endif()

@@ -38,6 +38,26 @@ TEST(ScheduleIo, MalformedLineThrows) {
   EXPECT_THROW(read_schedule(ss), std::invalid_argument);
 }
 
+// Fuzz-surfaced hardening (tests/fuzz/corpus pins the file-level
+// reproducers): a fourth field used to be silently dropped.
+TEST(ScheduleIo, TrailingGarbageThrows) {
+  std::stringstream ss("0 1 5 junk\n");
+  EXPECT_THROW(read_schedule(ss), std::invalid_argument);
+}
+
+// Negative relay ids used to parse fine and blow up later in the cascade.
+TEST(ScheduleIo, NegativeRelayThrows) {
+  std::stringstream ss("-7 1 5\n");
+  EXPECT_THROW(read_schedule(ss), std::invalid_argument);
+}
+
+TEST(ScheduleIo, NonFiniteFieldsThrow) {
+  for (const char* line : {"0 nan 5\n", "0 1 inf\n", "0 1 1e999\n"}) {
+    std::stringstream ss(line);
+    EXPECT_THROW(read_schedule(ss), std::invalid_argument) << line;
+  }
+}
+
 TEST(ScheduleIo, MissingFileThrows) {
   EXPECT_THROW(read_schedule_file("/nonexistent/schedule.txt"),
                std::invalid_argument);

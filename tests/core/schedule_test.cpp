@@ -66,6 +66,22 @@ TEST(Schedule, StreamOutput) {
   EXPECT_NE(os.str().find("relay=0"), std::string::npos);
 }
 
+// Fuzz-surfaced regression: an out-of-range relay id (a hostile schedule
+// file fed to `tmedb evaluate`) used to read past the end of the cascade's
+// probability array. The cascade now rejects it up front and the
+// feasibility checker reports it as an infeasibility, not a crash.
+TEST(Schedule, OutOfRangeRelayIsRejectedNotUndefined) {
+  const Tveg tveg = line_tveg();
+  TmedbInstance instance{&tveg, 0, 50.0};
+  Schedule bad;
+  bad.add(99999, 10.0, 5.0);
+  EXPECT_THROW(run_cascade(instance, bad, 50.0), std::invalid_argument);
+  const FeasibilityReport report = check_feasibility(instance, bad);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.relays_informed);
+  EXPECT_EQ(report.reason, "relay node id out of range");
+}
+
 TEST(TmedbInstance, Validation) {
   const Tveg tveg = line_tveg();
   TmedbInstance good{&tveg, 0, 50.0};

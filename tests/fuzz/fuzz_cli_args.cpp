@@ -1,0 +1,55 @@
+// Fuzz target: the shared CLI option parser (src/cli/args.hpp).
+//
+// The input bytes are split on newlines into an argv (capped so a
+// pathological input cannot allocate without bound) and parsed against the
+// tveg-certify option spec. Contract under fuzz: the parser either
+// succeeds or throws cli::UsageError — nothing else — and on success the
+// accessors (including the numeric conversions, which must reject
+// non-finite and partially-numeric values with UsageError, not UB) are
+// safe on arbitrary stored values.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const tveg::cli::Args::Spec spec{
+      {"trace", "schedule", "deadline", "eps", "source", "tau", "budget",
+       "targets", "nodes", "horizon", "model", "nakagami-m", "rician-k",
+       "noise", "gamma-db", "alpha", "w-min", "w-max", "dts-tol", "json"},
+      {"no-dts-check", "quiet", "help"}};
+
+  std::vector<std::string> tokens;
+  std::string current;
+  for (std::size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+    } else if (c != '\0') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() && tokens.size() < 64) tokens.push_back(current);
+
+  std::vector<const char*> argv = {"fuzz"};
+  for (const std::string& t : tokens) argv.push_back(t.c_str());
+
+  try {
+    const tveg::cli::Args args(static_cast<int>(argv.size()), argv.data(),
+                               spec);
+    for (const char* key : {"deadline", "eps", "budget", "noise"}) {
+      try {
+        (void)args.get_num(key, 0.0);
+      } catch (const tveg::cli::UsageError&) {
+      }
+    }
+    (void)args.get("trace", "");
+    (void)args.has("quiet");
+    (void)args.positional();
+  } catch (const tveg::cli::UsageError&) {
+  }
+  return 0;
+}

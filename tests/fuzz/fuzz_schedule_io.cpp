@@ -1,0 +1,47 @@
+// Fuzz target: the two schedule parsers, differentially.
+//
+// core::read_schedule (the solver-side reader behind `tmedb evaluate`) and
+// certify::parse_schedule (the certifier's independent reader) consume the
+// same on-disk format. Contract under fuzz:
+//  * neither parser crashes or trips a sanitizer on any input — rejection
+//    is always a thrown std::invalid_argument;
+//  * the core reader is strictly the pickier of the two (it additionally
+//    rejects value-level problems like negative relays, which the certifier
+//    accepts at parse time and rejects during verification), so any input
+//    the core reader accepts the certifier must accept too, with the same
+//    transmission count.
+// A divergence aborts, which libFuzzer / the replay driver report as a
+// finding.
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/schedule_io.hpp"
+#include "tools/certify/certify.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::optional<std::size_t> core_count;
+  try {
+    std::istringstream in(text);
+    core_count = tveg::core::read_schedule(in).size();
+  } catch (const std::invalid_argument&) {
+  }
+
+  std::optional<std::size_t> certify_count;
+  try {
+    std::istringstream in(text);
+    certify_count = tveg::certify::parse_schedule(in).size();
+  } catch (const std::invalid_argument&) {
+  }
+
+  if (core_count && (!certify_count || *certify_count != *core_count))
+    std::abort();  // certifier rejected what the stricter core reader took
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz target: the contact-trace text parser (trace/io.hpp).
+//
+// Exercises the robust Result-returning entry point with arbitrary bytes.
+// Contract under fuzz: parse_trace never crashes, never hits UB, and on
+// success returns a trace whose accessors are safe to call; on failure the
+// structured error renders without throwing.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const auto result = tveg::trace::parse_trace(in, {});
+  if (result.ok()) {
+    const tveg::trace::ContactTrace& t = result.value();
+    (void)t.pair_count();
+    if (t.horizon() > 0.0) (void)t.average_degree(t.horizon() / 2.0);
+  } else {
+    (void)result.error().to_string();
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/ed_weight_cache.hpp"
 #include "core/eedcb.hpp"
@@ -25,6 +26,7 @@
 #include "core/tveg.hpp"
 #include "support/math.hpp"
 #include "support/thread_pool.hpp"
+#include "tools/certify/certify.hpp"
 #include "trace/generators.hpp"
 
 #ifndef TVEG_GOLDEN_DIR
@@ -57,7 +59,42 @@ std::string serialize(const Schedule& schedule) {
   return out.str();
 }
 
-void check_golden(const std::string& name, const Schedule& schedule) {
+/// Independent certification gate: a fixture is only compared — and, under
+/// TVEG_REGEN_GOLDEN, only WRITTEN — after the paper-text oracle accepts
+/// it. scripts/regen_golden.sh therefore cannot commit a schedule that is
+/// byte-stable but infeasible.
+void expect_certified(const std::string& name, const Schedule& schedule,
+                      const trace::ContactTrace& t,
+                      const TmedbInstance& instance,
+                      channel::ChannelModel model) {
+  const channel::RadioParams& radio = instance.tveg->radio();
+  certify::Options opt;
+  opt.source = instance.source;
+  opt.deadline = instance.deadline;
+  opt.epsilon = instance.effective_epsilon();
+  opt.tau = instance.tveg->latency();
+  opt.budget = instance.budget;
+  opt.targets = instance.targets;
+  opt.model = model;
+  opt.noise_density = radio.noise_density;
+  opt.decoding_threshold_db = radio.decoding_threshold_db;
+  opt.path_loss_exponent = radio.path_loss_exponent;
+  opt.w_min = radio.w_min;
+  opt.w_max = radio.w_max;
+  std::vector<certify::Transmission> txs;
+  for (const Transmission& tx : schedule.transmissions())
+    txs.push_back({tx.relay, tx.time, tx.cost});
+  const certify::Verdict verdict = certify::verify(t, txs, opt);
+  ASSERT_TRUE(verdict.feasible)
+      << "schedule for fixture " << name
+      << " failed independent certification — refusing to "
+      << (regen() ? "write" : "accept") << " it: " << verdict.json();
+}
+
+void check_golden(const std::string& name, const Schedule& schedule,
+                  const trace::ContactTrace& t, const TmedbInstance& instance,
+                  channel::ChannelModel model) {
+  expect_certified(name, schedule, t, instance, model);
   const std::string path = std::string(TVEG_GOLDEN_DIR) + "/" + name;
   const std::string got = serialize(schedule);
   if (regen()) {
@@ -99,9 +136,11 @@ TEST(GoldenSchedules, EedcbGreedyLevel2) {
   opt.method = SteinerMethod::kRecursiveGreedy;
   opt.steiner_level = 2;
   opt.pool = &pool();
-  const auto r = run_eedcb(TmedbInstance{&tveg, 0, 200.0}, opt);
+  const TmedbInstance inst{&tveg, 0, 200.0};
+  const auto r = run_eedcb(inst, opt);
   ASSERT_TRUE(r.covered_all);
-  check_golden("eedcb_greedy_l2.sched", r.schedule);
+  check_golden("eedcb_greedy_l2.sched", r.schedule, t, inst,
+               channel::ChannelModel::kStep);
 }
 
 TEST(GoldenSchedules, EedcbShortestPath) {
@@ -110,9 +149,11 @@ TEST(GoldenSchedules, EedcbShortestPath) {
   EedcbOptions opt;
   opt.method = SteinerMethod::kShortestPath;
   opt.pool = &pool();
-  const auto r = run_eedcb(TmedbInstance{&tveg, 0, 200.0}, opt);
+  const TmedbInstance inst{&tveg, 0, 200.0};
+  const auto r = run_eedcb(inst, opt);
   ASSERT_TRUE(r.covered_all);
-  check_golden("eedcb_spt.sched", r.schedule);
+  check_golden("eedcb_spt.sched", r.schedule, t, inst,
+               channel::ChannelModel::kStep);
 }
 
 TEST(GoldenSchedules, EedcbMulticastNoExpansion) {
@@ -125,7 +166,8 @@ TEST(GoldenSchedules, EedcbMulticastNoExpansion) {
   inst.targets = {2, 5, 7};
   const auto r = run_eedcb(inst, opt);
   ASSERT_TRUE(r.covered_all);
-  check_golden("eedcb_multicast_noexp.sched", r.schedule);
+  check_golden("eedcb_multicast_noexp.sched", r.schedule, t, inst,
+               channel::ChannelModel::kStep);
 }
 
 TEST(GoldenSchedules, FrEedcbRayleigh) {
@@ -133,9 +175,11 @@ TEST(GoldenSchedules, FrEedcbRayleigh) {
   const Tveg tveg = make_tveg(t, channel::ChannelModel::kRayleigh);
   EedcbOptions opt;
   opt.pool = &pool();
-  const auto r = run_fr_eedcb(TmedbInstance{&tveg, 0, 200.0}, opt);
+  const TmedbInstance inst{&tveg, 0, 200.0};
+  const auto r = run_fr_eedcb(inst, opt);
   ASSERT_TRUE(r.feasible());
-  check_golden("fr_eedcb_rayleigh.sched", r.schedule());
+  check_golden("fr_eedcb_rayleigh.sched", r.schedule(), t, inst,
+               channel::ChannelModel::kRayleigh);
 }
 
 }  // namespace

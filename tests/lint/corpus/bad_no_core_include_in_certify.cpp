@@ -1,0 +1,16 @@
+// tveg-lint fixture: exactly one no-core-include-in-certify finding
+// (line 8). The "certify" in the file name opts it into the certifier
+// scope; the allowed includes below must NOT fire.
+// Never compiled — only scanned by the lint tests and corpus ctests.
+#include "channel/radio.hpp"
+#include "support/math.hpp"
+#include "trace/contact_trace.hpp"
+#include "core/eedcb.hpp"
+
+namespace tveg::fixture {
+
+// A certifier that asks the solver what "feasible" means has no authority:
+// the independence argument needs two implementations that can disagree.
+inline int certify_by_asking_the_solver() { return 0; }
+
+}  // namespace tveg::fixture

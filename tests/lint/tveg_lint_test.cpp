@@ -39,6 +39,8 @@ TEST(TvegLint, CorpusFixturesPinExactFindings) {
       {"bad_unchecked_result.cpp", "unchecked-result", 8},
       {"bad_metrics_key.cpp", "metrics-key", 8},
       {"bad_no_float.cpp", "no-float", 8},
+      {"bad_no_core_include_in_certify.cpp", "no-core-include-in-certify",
+       8},
   };
   for (const auto& fixture : fixtures) {
     const auto findings =
@@ -175,6 +177,7 @@ TEST(TvegLint, RuleIdsAreStable) {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
       "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
+      "no-core-include-in-certify",
   };
   EXPECT_EQ(rule_ids(), expected);
 }
@@ -228,6 +231,35 @@ TEST(TvegLint, AuditPassesLoadBearingSuppressions) {
   const std::string header_pragma =
       "// tveg-lint: allow(header-not-self-contained)\n";
   EXPECT_TRUE(audit_file_suppressions("h.hpp", header_pragma).empty());
+}
+
+TEST(TvegLint, CoreIncludeFlaggedOnlyInCertifyScope) {
+  const std::string bad = "#include \"core/eedcb.hpp\"\n";
+  // Certifier sources: flagged, for both solver layers and DTS headers.
+  EXPECT_EQ(lint_source("src/tools/certify/certify.cpp", bad).size(), 1u);
+  EXPECT_EQ(lint_source("src/tools/certify/certify.cpp",
+                        "#include \"tvg/dts.hpp\"\n")
+                .size(),
+            1u);
+  // Allowed dependency set: clean.
+  EXPECT_TRUE(lint_source("src/tools/certify/certify.cpp",
+                          "#include \"support/math.hpp\"\n"
+                          "#include \"trace/contact_trace.hpp\"\n"
+                          "#include \"channel/radio.hpp\"\n"
+                          "#include \"tvg/types.hpp\"\n"
+                          "#include \"tools/certify/certify.hpp\"\n")
+                  .empty());
+  // Outside the certifier (and in its own tests, which legitimately drive
+  // the solvers): not flagged.
+  EXPECT_TRUE(lint_source("src/core/eedcb.cpp", bad).empty());
+  EXPECT_TRUE(
+      lint_source("tests/certify/certify_sweep_test.cpp", bad).empty());
+  // Suppressible like every other rule.
+  EXPECT_TRUE(
+      lint_source("src/tools/certify/certify.cpp",
+                  "#include \"core/eedcb.hpp\"  "
+                  "// tveg-lint: allow(no-core-include-in-certify)\n")
+          .empty());
 }
 
 }  // namespace

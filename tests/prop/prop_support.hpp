@@ -1,0 +1,213 @@
+// Shared machinery for the metamorphic property harness (tests/prop).
+//
+// Three pieces:
+//  * a seeded instance generator (slotted snapshot traces, small N) driven
+//    by support::stream_seed so every relation draws an independent,
+//    reproducible stream — override the base seed with TVEG_PROP_SEED;
+//  * trace transforms (node relabeling, time translation, edge addition)
+//    that the relations compare against;
+//  * an exact brute-force optimum for the step channel with τ = 0. It is a
+//    THIRD implementation of the problem semantics (independent of both the
+//    production solvers and the certifier), so a metamorphic failure cannot
+//    be explained away by a shared misreading of the paper.
+//
+// The brute force exploits the slot structure of snapshot traces: adjacency
+// and distances are constant within a slot, so transmitting at slot starts
+// loses no generality (Theorem 5.2's DTS collapses to slot boundaries when
+// τ = 0). It runs Dijkstra over (informed-set, slot) states; a transition
+// picks a relay from the informed set, a slot no earlier than the current
+// one (causality), and a power equal to one adjacent pair's step threshold
+// — any other power is dominated. States: 2^N × slots, tiny for N ≤ 6.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "channel/radio.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "tools/certify/certify.hpp"
+#include "trace/contact_trace.hpp"
+#include "trace/generators.hpp"
+
+namespace tveg::prop {
+
+/// Slot length / horizon every generated instance uses; the brute force
+/// depends on kSlot for its candidate transmission times.
+constexpr Time kSlot = 20.0;
+constexpr Time kHorizon = 200.0;
+
+/// Base seed for all relations; override with TVEG_PROP_SEED=<n> to explore
+/// a different universe (failures print the instance seed, which is derived
+/// from this base, so a repro needs both).
+inline std::uint64_t base_seed() {
+  if (const char* env = std::getenv("TVEG_PROP_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 0x7ce9;
+}
+
+inline channel::RadioParams unit_radio() {
+  channel::RadioParams r;
+  r.noise_density = 1.0;
+  r.decoding_threshold_db = 0.0;
+  r.path_loss_exponent = 2.0;
+  r.epsilon = 0.01;
+  r.w_max = support::kInf;
+  return r;
+}
+
+inline trace::ContactTrace gen_trace(std::uint64_t seed, int nodes) {
+  trace::SnapshotConfig cfg;
+  cfg.nodes = nodes;
+  cfg.slot = kSlot;
+  cfg.horizon = kHorizon;
+  cfg.p = 0.25 + 0.05 * static_cast<double>(seed % 4);
+  cfg.seed = seed;
+  return trace::generate_snapshots(cfg);
+}
+
+/// Relabels nodes through `perm` (perm[old] = new). Horizon and times are
+/// untouched; ContactTrace::add renormalizes endpoint order.
+inline trace::ContactTrace relabel(const trace::ContactTrace& t,
+                                   const std::vector<NodeId>& perm) {
+  trace::ContactTrace out(t.node_count(), t.horizon());
+  for (const trace::Contact& c : t.contacts())
+    out.add({perm[static_cast<std::size_t>(c.a)],
+             perm[static_cast<std::size_t>(c.b)], c.start, c.end, c.distance});
+  return out;
+}
+
+/// The rotation permutation i -> (i + 1) mod n: deterministic, nontrivial,
+/// and well defined for any node count (the shrinker may re-invoke a
+/// relation on a trace with fewer nodes).
+inline std::vector<NodeId> rotation(NodeId n) {
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i)
+    perm[static_cast<std::size_t>(i)] = (i + 1) % n;
+  return perm;
+}
+
+/// Shifts every contact (and the horizon) `delta` later in time.
+inline trace::ContactTrace translate(const trace::ContactTrace& t,
+                                     Time delta) {
+  trace::ContactTrace out(t.node_count(), t.horizon() + delta);
+  for (const trace::Contact& c : t.contacts())
+    out.add({c.a, c.b, c.start + delta, c.end + delta, c.distance});
+  return out;
+}
+
+/// Adds one slot-long unit-distance contact for the first (slot, pair) hole
+/// found; returns nullopt on a complete trace (nothing to add).
+inline std::optional<trace::ContactTrace> add_one_edge(
+    const trace::ContactTrace& t) {
+  const NodeId n = t.node_count();
+  for (Time s = 0.0; s + kSlot <= t.horizon(); s += kSlot) {
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        bool present = false;
+        for (const trace::Contact& c : t.contacts())
+          if (c.a == a && c.b == b && c.start <= s && s < c.end)
+            present = true;
+        if (present) continue;
+        trace::ContactTrace out(n, t.horizon());
+        for (const trace::Contact& c : t.contacts()) out.add(c);
+        out.add({a, b, s, s + kSlot, 1.0});
+        return out;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Exact minimum broadcast cost (step channel, τ = 0, source 0-informed at
+/// time 0) to inform `targets` (all nodes when empty) by `deadline`.
+/// Returns nullopt when unreachable.
+inline std::optional<double> brute_force_opt(const trace::ContactTrace& t,
+                                             const channel::RadioParams& radio,
+                                             NodeId source, Time deadline,
+                                             std::vector<NodeId> targets = {}) {
+  const int n = t.node_count();
+  if (n > 16) return std::nullopt;  // harness generates N <= 6
+
+  std::vector<Time> times;
+  for (Time s = 0.0; s < t.horizon() && s <= deadline; s += kSlot)
+    times.push_back(s);
+  const std::size_t nt = times.size();
+  if (nt == 0) return std::nullopt;
+
+  // d2[ti][a][b] = distance during slot ti, 0 when not adjacent.
+  std::vector<std::vector<std::vector<double>>> dist(
+      nt, std::vector<std::vector<double>>(
+              static_cast<std::size_t>(n),
+              std::vector<double>(static_cast<std::size_t>(n), 0.0)));
+  for (const trace::Contact& c : t.contacts()) {
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      if (c.start <= times[ti] && times[ti] < c.end) {
+        dist[ti][static_cast<std::size_t>(c.a)][static_cast<std::size_t>(
+            c.b)] = c.distance;
+        dist[ti][static_cast<std::size_t>(c.b)][static_cast<std::size_t>(
+            c.a)] = c.distance;
+      }
+    }
+  }
+
+  std::uint32_t goal = 0;
+  if (targets.empty()) {
+    goal = (n >= 32) ? ~std::uint32_t{0} : ((std::uint32_t{1} << n) - 1);
+  } else {
+    for (const NodeId v : targets) goal |= std::uint32_t{1} << v;
+    goal |= std::uint32_t{1} << source;
+  }
+
+  const std::size_t nstates = (std::size_t{1} << n) * nt;
+  std::vector<double> best(nstates, support::kInf);
+  using Item = std::tuple<double, std::uint32_t, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  const std::uint32_t start = std::uint32_t{1} << source;
+  best[start * nt + 0] = 0.0;
+  heap.emplace(0.0, start, std::size_t{0});
+
+  double answer = support::kInf;
+  while (!heap.empty()) {
+    const auto [cost, mask, ti] = heap.top();
+    heap.pop();
+    if (cost > best[mask * nt + ti]) continue;
+    if ((mask & goal) == goal) {
+      answer = std::min(answer, cost);
+      continue;
+    }
+    if (cost >= answer) continue;
+    for (std::size_t tj = ti; tj < nt; ++tj) {
+      for (NodeId r = 0; r < n; ++r) {
+        if (!(mask & (std::uint32_t{1} << r))) continue;
+        // Candidate powers: each adjacent pair's exact threshold.
+        for (NodeId x = 0; x < n; ++x) {
+          const double d = dist[tj][static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(x)];
+          if (d <= 0.0) continue;
+          const Cost w = radio.step_min_cost(d);
+          std::uint32_t next = mask;
+          for (NodeId y = 0; y < n; ++y) {
+            const double dy = dist[tj][static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(y)];
+            if (dy > 0.0 && radio.step_min_cost(dy) <= w)
+              next |= std::uint32_t{1} << y;
+          }
+          const double ncost = cost + w;
+          if (ncost < best[next * nt + tj]) {
+            best[next * nt + tj] = ncost;
+            heap.emplace(ncost, next, tj);
+          }
+        }
+      }
+    }
+  }
+  if (answer == support::kInf) return std::nullopt;
+  return answer;
+}
+
+}  // namespace tveg::prop

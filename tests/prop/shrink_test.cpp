@@ -1,0 +1,96 @@
+// Unit tests for the greedy trace shrinker: the shrunk instance must still
+// violate its property (that is the shrinker's contract), must be locally
+// minimal, and shrinking must be idempotent.
+#include "prop/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "prop/prop_support.hpp"
+
+namespace tveg::prop {
+namespace {
+
+/// A busy 6-node trace with exactly one "poison" contact (0-1 at distance
+/// 7) buried among unit-distance noise.
+trace::ContactTrace noisy_trace() {
+  trace::ContactTrace t(6, 200.0);
+  t.add({0, 1, 40.0, 60.0, 7.0});  // the poison contact
+  t.add({0, 2, 0.0, 20.0, 1.0});
+  t.add({1, 3, 20.0, 40.0, 1.0});
+  t.add({2, 4, 60.0, 80.0, 1.0});
+  t.add({3, 5, 80.0, 100.0, 1.0});
+  t.add({4, 5, 100.0, 120.0, 1.0});
+  t.add({0, 5, 120.0, 140.0, 1.0});
+  return t;
+}
+
+bool has_far_contact(const trace::ContactTrace& t) {
+  for (const trace::Contact& c : t.contacts())
+    if (c.distance >= 5.0) return true;
+  return false;
+}
+
+TEST(Shrink, ResultStillViolatesTheProperty) {
+  const trace::ContactTrace small = shrink_trace(noisy_trace(), has_far_contact);
+  EXPECT_TRUE(has_far_contact(small));
+}
+
+TEST(Shrink, ReducesToTheSinglePoisonContact) {
+  const trace::ContactTrace small = shrink_trace(noisy_trace(), has_far_contact);
+  ASSERT_EQ(small.contact_count(), 1u);
+  EXPECT_DOUBLE_EQ(small.contacts()[0].distance, 7.0);
+  // Node and horizon dimensions shrink too: only nodes 0 and 1 and the
+  // time range of the poison contact survive.
+  EXPECT_EQ(small.node_count(), 2);
+  EXPECT_LE(small.horizon(), 60.0);
+}
+
+TEST(Shrink, ResultIsLocallyMinimal) {
+  const trace::ContactTrace small = shrink_trace(noisy_trace(), has_far_contact);
+  for (std::size_t i = 0; i < small.contact_count(); ++i)
+    EXPECT_FALSE(has_far_contact(drop_contact(small, i)));
+}
+
+TEST(Shrink, Idempotent) {
+  const trace::ContactTrace once = shrink_trace(noisy_trace(), has_far_contact);
+  const trace::ContactTrace twice = shrink_trace(once, has_far_contact);
+  EXPECT_EQ(twice.contacts(), once.contacts());
+  EXPECT_EQ(twice.node_count(), once.node_count());
+  EXPECT_DOUBLE_EQ(twice.horizon(), once.horizon());
+}
+
+TEST(Shrink, ReturnsInputWhenPredicateIsFalse) {
+  trace::ContactTrace t(3, 50.0);
+  t.add({0, 1, 0.0, 10.0, 1.0});
+  const trace::ContactTrace out =
+      shrink_trace(t, [](const trace::ContactTrace&) { return false; });
+  EXPECT_EQ(out.contacts(), t.contacts());
+}
+
+/// Shrinking a semantic property (a real solver-level violation shape):
+/// "the brute-force optimum exceeds 9" — the shrinker must keep whatever
+/// expensive structure forces that cost and discard the rest.
+TEST(Shrink, PreservesSemanticPropertiesThroughSolverCalls) {
+  trace::ContactTrace t(4, 100.0);
+  t.add({0, 1, 0.0, 20.0, 4.0});   // forced expensive hop: cost 16
+  t.add({1, 2, 20.0, 40.0, 1.0});
+  t.add({1, 3, 40.0, 60.0, 1.0});
+  t.add({2, 3, 60.0, 80.0, 1.0});
+  const auto expensive = [](const trace::ContactTrace& tr) {
+    const auto opt = brute_force_opt(tr, unit_radio(), 0, 100.0);
+    return opt.has_value() && *opt > 9.0;
+  };
+  ASSERT_TRUE(expensive(t));
+  const trace::ContactTrace small = shrink_trace(t, expensive);
+  EXPECT_TRUE(expensive(small));
+  EXPECT_LT(small.contact_count(), t.contact_count());
+  // The 0-1 distance-4 contact is what makes the instance expensive; it
+  // must survive.
+  bool kept = false;
+  for (const trace::Contact& c : small.contacts())
+    if (c.distance == 4.0) kept = true;
+  EXPECT_TRUE(kept);
+}
+
+}  // namespace
+}  // namespace tveg::prop
