@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Bench regression gate: runs the gated benches (micro_dts, micro_steiner,
-# online_vs_offline), compares their BENCH_*.json timings against the
+# micro_aux, online_vs_offline), compares their BENCH_*.json timings against
+# the
 # committed baselines in bench/baselines/, and fails on
 #   * any benchmark whose wall time regressed more than the tolerance
 #     (default 15%, override with TVEG_BENCH_TOLERANCE=0.25), or
@@ -28,7 +29,7 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 BASELINE_DIR="${BASELINE_DIR:-${REPO_ROOT}/bench/baselines}"
 WORK_DIR="${WORK_DIR:-${BUILD_DIR}/bench-gate}"
 TOLERANCE="${TVEG_BENCH_TOLERANCE:-0.15}"
-BENCHES=(micro_dts micro_steiner online_vs_offline)
+BENCHES=(micro_dts micro_steiner micro_aux online_vs_offline)
 
 UPDATE=0
 SKIP_RUN=0

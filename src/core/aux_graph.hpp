@@ -14,9 +14,13 @@
 // construction writes t_{j,f} = t_{i,l} − τ; we read that as a typo for +τ
 // (DESIGN.md, interpretive decision 1). Source u_{s,0}; terminals are each
 // node's last clipped DTS vertex.
+//
+// Vertex-id scheme (DESIGN.md "Data layout & hot-path memory"): all u
+// vertices come first, node-major — id(u_{i,l}) = point_offset_[i] + l — and
+// every id >= first_power_vertex() is a power vertex, numbered in creation
+// order. Both directions decode arithmetically; no per-vertex maps exist.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -49,7 +53,8 @@ class AuxGraph {
     support::Budget budget;
   };
 
-  /// Builds the auxiliary graph for `instance` over `dts`.
+  /// Builds the auxiliary graph for `instance` over `dts`. The digraph is
+  /// frozen (CSR form) before the constructor returns.
   AuxGraph(const TmedbInstance& instance, const DiscreteTimeSet& dts,
            Options options);
   /// As above with default options (power expansion on).
@@ -80,6 +85,13 @@ class AuxGraph {
   /// Time of point l of node i.
   Time point_time(NodeId i, std::size_t l) const;
 
+  /// First power-vertex id: every vertex v >= this is a power vertex
+  /// x_{i,l,k}, every v < this is a node vertex u_{i,l}.
+  graph::VertexId first_power_vertex() const { return first_power_; }
+  /// Power vertices that carry a transmission (have an incoming transmit
+  /// arc); skipped expansion levels leave dead id slots, not entries here.
+  std::size_t live_power_vertex_count() const { return live_power_; }
+
   /// Translates a Steiner tree over this graph into a schedule: every tree
   /// arc entering a power vertex becomes one transmission; coalesced so a
   /// relay pays only its highest selected level per time point.
@@ -92,14 +104,23 @@ class AuxGraph {
     Cost cost;
   };
 
+  std::size_t point_count_raw(std::size_t i) const {
+    return point_offset_[i + 1] - point_offset_[i];
+  }
+
   graph::Digraph g_;
   graph::VertexId source_ = graph::kNoVertex;
   std::vector<graph::VertexId> terminals_;
-  /// points_[i] = clipped DTS times of node i.
-  std::vector<std::vector<Time>> points_;
-  /// vertex_[i][l] = id of u_{i,l}.
-  std::vector<std::vector<graph::VertexId>> vertex_;
-  std::unordered_map<graph::VertexId, PowerInfo> power_info_;
+  /// Clipped DTS times of node i: point_times_[point_offset_[i] + l], which
+  /// is also vertex u_{i,l}'s id — the arrays double as the id codec.
+  std::vector<Time> point_times_;
+  std::vector<std::size_t> point_offset_;  ///< size n+1
+  graph::VertexId first_power_ = 0;
+  /// power_info_[x - first_power_] decodes power vertex x. Dead slots
+  /// (expansion levels with no reachable receiver) stay default-initialized;
+  /// they have no incoming arcs, so no tree arc can ever reference them.
+  std::vector<PowerInfo> power_info_;
+  std::size_t live_power_ = 0;
 };
 
 }  // namespace tveg::core

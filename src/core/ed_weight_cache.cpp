@@ -53,14 +53,20 @@ void EdWeightCache::evict_shard(Shard& shard, std::size_t shard_index,
   resident.set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
 }
 
-const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
-                                                 std::size_t e,
-                                                 Time t) const {
+std::pair<std::uint64_t, std::size_t> EdWeightCache::locate(const Tveg& tveg,
+                                                            std::size_t e,
+                                                            Time t) const {
   const std::size_t segment = tveg.distance_segment(e, t);
   TVEG_ASSERT(segment < (std::uint64_t{1} << 32));
   const std::uint64_t key =
       (static_cast<std::uint64_t>(e) << 32) | static_cast<std::uint64_t>(segment);
-  const std::size_t shard_index = (e + segment * 0x9e3779b9u) % kShards;
+  return {key, (e + segment * 0x9e3779b9u) % kShards};
+}
+
+const EdWeightCache::Entry EdWeightCache::lookup(const Tveg& tveg,
+                                                 std::size_t e,
+                                                 Time t) const {
+  const auto [key, shard_index] = locate(tveg, e, t);
   Shard& shard = shards_[shard_index];
   {
     support::MutexLock lock(shard.mutex);
@@ -110,6 +116,21 @@ std::shared_ptr<const channel::EdFunction> EdWeightCache::ed(const Tveg& tveg,
 
 Cost EdWeightCache::edge_weight(const Tveg& tveg, std::size_t e,
                                 Time t) const {
+  // Weight-only fast path: the aux-graph DCS precompute calls this once per
+  // (slot, neighbor) pair, and copying the full Entry out of lookup() costs
+  // an atomic shared_ptr refcount round-trip per hit. On a hit, read the
+  // plain double under the shard lock and never touch the control block.
+  const auto [key, shard_index] = locate(tveg, e, t);
+  Shard& shard = shards_[shard_index];
+  {
+    support::MutexLock lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::ScopedSpan hit_span("ed_cache_hit");
+      return it->second.weight;
+    }
+  }
   return lookup(tveg, e, t).weight;
 }
 

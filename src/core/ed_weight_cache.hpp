@@ -111,6 +111,9 @@ class EdWeightCache {
   static constexpr std::size_t kShards = 16;
 
   const Entry lookup(const Tveg& tveg, std::size_t e, Time t) const;
+  /// (key, shard index) of edge `e` at time `t`.
+  std::pair<std::uint64_t, std::size_t> locate(const Tveg& tveg, std::size_t e,
+                                               Time t) const;
 
   /// Clears `shard` (already locked by the caller), returning its bytes to
   /// the ledger and counting the eviction; `pressure` marks byte-driven

@@ -66,9 +66,10 @@ std::vector<SchedulerResult> solve_many(const Tveg& tveg,
     // carries over between requests of the group without changing results.
     const TmedbInstance first =
         to_instance(tveg, requests[group.indices.front()]);
-    const AuxGraph aux(
-        first, dts,
-        {.power_expansion = options.power_expansion, .pool = options.pool});
+    const AuxGraph aux(first, dts,
+                       {.power_expansion = options.power_expansion,
+                        .pool = options.pool,
+                        .budget = options.budget});
     graph::SteinerSolver solver(aux.digraph());
     for (std::size_t r : group.indices) {
       const TmedbInstance instance = to_instance(tveg, requests[r]);

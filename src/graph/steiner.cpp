@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "obs/keys.hpp"
@@ -23,6 +23,11 @@ std::uint64_t arc_key(VertexId from, VertexId to) {
 }
 
 /// Accumulates a subgraph as a deduplicated arc set.
+//
+// Deliberately still an unordered_map: finalize() replays its iteration
+// order into the scratch Digraph, and that order feeds the cleanup
+// Dijkstra's tie-breaking — swapping the container would silently change
+// golden schedules. Local per query, never on the steady-state alloc path.
 struct TreeBuilder {
   std::unordered_map<std::uint64_t, double> arcs;
 
@@ -45,32 +50,35 @@ struct TreeBuilder {
 
 /// Converts an arbitrary selected subgraph into a clean arborescence: runs
 /// Dijkstra inside the subgraph from the root, keeps only arcs on the
-/// resulting paths to terminals. Never increases the cost.
+/// resulting paths to terminals. Never increases the cost. `scratch` and
+/// `ws` are reused across queries (reset per call, capacity kept).
 SteinerResult finalize(const TreeBuilder& builder, VertexId root,
                        const std::vector<VertexId>& terminals,
-                       VertexId vertex_count) {
-  Digraph sub(vertex_count);
+                       VertexId vertex_count, Digraph& scratch,
+                       DijkstraWorkspace& ws) {
+  scratch.reset(vertex_count);
+  scratch.reserve_arcs(builder.arcs.size());
   for (const auto& [key, w] : builder.arcs)
-    sub.add_arc(static_cast<VertexId>(key >> 32),
-                static_cast<VertexId>(key & 0xffffffffu), w);
+    scratch.add_arc(static_cast<VertexId>(key >> 32),
+                    static_cast<VertexId>(key & 0xffffffffu), w);
+  scratch.freeze();
 
-  const ShortestPaths sp = dijkstra(sub, root);
+  dijkstra_scratch(scratch, root, ws);
 
   SteinerResult result;
   result.feasible = true;
   std::unordered_set<std::uint64_t> kept;
   for (VertexId t : terminals) {
-    if (sp.dist[static_cast<std::size_t>(t)] == kInf) {
+    if (ws.dist(t) == kInf) {
       result.feasible = false;
       continue;
     }
     VertexId cur = t;
-    while (sp.parent[static_cast<std::size_t>(cur)] != kNoVertex) {
-      const VertexId p = sp.parent[static_cast<std::size_t>(cur)];
+    while (ws.parent(cur) != kNoVertex) {
+      const VertexId p = ws.parent(cur);
       const std::uint64_t key = arc_key(p, cur);
       if (kept.insert(key).second) {
-        const double w = sp.dist[static_cast<std::size_t>(cur)] -
-                         sp.dist[static_cast<std::size_t>(p)];
+        const double w = ws.dist(cur) - ws.dist(p);
         result.arcs.push_back({p, cur, w});
         result.cost += w;
       }
@@ -83,7 +91,10 @@ SteinerResult finalize(const TreeBuilder& builder, VertexId root,
 }  // namespace
 
 SteinerSolver::SteinerSolver(const Digraph& g)
-    : g_(g), reversed_(g.reversed()) {}
+    : g_(g),
+      reversed_(g.reversed()),
+      forward_slot_(static_cast<std::size_t>(g.vertex_count()), -1),
+      ws_(acquire_workspace()) {}
 
 /// Clears per-query stats on entry to a public solver method and flushes
 /// them into the registry when the query finishes.
@@ -114,13 +125,16 @@ void SteinerSolver::note_run(const ShortestPaths& sp) {
 }
 
 const ShortestPaths& SteinerSolver::forward_from(VertexId v) {
-  auto it = forward_cache_.find(v);
-  if (it == forward_cache_.end()) {
+  const auto i = static_cast<std::size_t>(v);
+  std::int32_t slot = forward_slot_[i];
+  if (slot < 0) {
     budget_.check("steiner");
-    it = forward_cache_.emplace(v, dijkstra(g_, v)).first;
-    note_run(it->second);
+    slot = static_cast<std::int32_t>(forward_store_.size());
+    forward_store_.push_back(dijkstra(g_, v, *ws_));
+    forward_slot_[i] = slot;
+    note_run(forward_store_.back());
   }
-  return it->second;
+  return forward_store_[static_cast<std::size_t>(slot)];
 }
 
 SteinerResult SteinerSolver::shortest_path_heuristic(
@@ -131,7 +145,8 @@ SteinerResult SteinerSolver::shortest_path_heuristic(
   for (VertexId t : terminals)
     if (t != root && sp.dist[static_cast<std::size_t>(t)] < kInf)
       builder.add_path(sp, t);
-  SteinerResult result = finalize(builder, root, terminals, g_.vertex_count());
+  SteinerResult result = finalize(builder, root, terminals, g_.vertex_count(),
+                                  scratch_sub_, *ws_);
   for (VertexId t : terminals)
     if (sp.dist[static_cast<std::size_t>(t)] == kInf) result.feasible = false;
   return result;
@@ -168,6 +183,7 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
   // level-1 bunch has the best density estimate
   //   (dist(v→u) + Σ k'-cheapest dist(u→terminal)) / k'.
   std::size_t remaining = want;
+  const std::size_t kTerms = term_count_;
   while (remaining > 0) {
     budget_.check("steiner");
 
@@ -190,9 +206,13 @@ void SteinerSolver::greedy_cover(GreedyState& state, VertexId v, int level,
         const double to_u = sp.dist[static_cast<std::size_t>(u)];
         if (to_u == kInf) continue;
         dists.clear();
-        for (std::size_t k = 0; k < state.terminals.size(); ++k) {
+        // dist_to_term_ is terminal-major: the k loop walks one contiguous
+        // row of the matrix.
+        const double* row = dist_to_term_.data() +
+                            static_cast<std::size_t>(u) * kTerms;
+        for (std::size_t k = 0; k < kTerms; ++k) {
           if (state.covered[k]) continue;
-          const double d = dist_to_term_[k][static_cast<std::size_t>(u)];
+          const double d = row[k];
           if (d < kInf) dists.push_back(d);
         }
         if (dists.empty()) continue;
@@ -264,20 +284,29 @@ SteinerResult SteinerSolver::recursive_greedy(
   state.covered.assign(state.terminals.size(), 0);
 
   // dist(u → terminal) for every u, via Dijkstra on the reversed graph.
-  // Each run writes an indexed slot and the work counters are summed in
+  // Each run fills an indexed row and the work counters are summed in
   // terminal order afterwards, so the pooled path is bit-identical (results
-  // and stats) to the serial one.
-  dist_to_term_.assign(state.terminals.size(), {});
+  // and stats) to the serial one. Rows are transposed into the terminal-
+  // major matrix the density scan reads (one serial pass — the parallel
+  // runs never write shared cache lines).
+  const auto n = static_cast<std::size_t>(g_.vertex_count());
+  term_count_ = state.terminals.size();
+  dist_to_term_.assign(n * term_count_, kInf);
+  const auto scatter_row = [&](std::size_t k, const std::vector<double>& d) {
+    for (std::size_t u = 0; u < n; ++u)
+      dist_to_term_[u * term_count_ + k] = d[u];
+  };
   if (pool_ != nullptr && state.terminals.size() > 1) {
     std::vector<ShortestPaths> runs(state.terminals.size());
     pool_->parallel_for(0, state.terminals.size(), [&](std::size_t k) {
       obs::ScopedSpan run_span("steiner_reverse_dijkstra");
       budget_.check("steiner");
-      runs[k] = dijkstra(reversed_, state.terminals[k]);
+      auto ws = acquire_workspace();
+      runs[k] = dijkstra(reversed_, state.terminals[k], *ws);
     }, budget_.cancel);
     for (std::size_t k = 0; k < runs.size(); ++k) {
       note_run(runs[k]);
-      dist_to_term_[k] = std::move(runs[k].dist);
+      scatter_row(k, runs[k].dist);
     }
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
         obs::keys::kParallelSteinerDijkstras);
@@ -286,16 +315,18 @@ SteinerResult SteinerSolver::recursive_greedy(
     support::Budget::Poller poller(budget_, "steiner", /*stride=*/16);
     for (std::size_t k = 0; k < state.terminals.size(); ++k) {
       poller.poll();
-      ShortestPaths sp = dijkstra(reversed_, state.terminals[k]);
+      const ShortestPaths sp = dijkstra(reversed_, state.terminals[k], *ws_);
       note_run(sp);
-      dist_to_term_[k] = std::move(sp.dist);
+      scatter_row(k, sp.dist);
     }
   }
 
   greedy_cover(state, root, level, state.terminals.size());
   dist_to_term_.clear();
+  term_count_ = 0;
 
-  return finalize(state.tree, root, terminals, g_.vertex_count());
+  return finalize(state.tree, root, terminals, g_.vertex_count(), scratch_sub_,
+                  *ws_);
 }
 
 SteinerResult SteinerSolver::exact_small(
@@ -325,7 +356,8 @@ SteinerResult SteinerSolver::exact_small(
     pool_->parallel_for(0, n, [&](std::size_t v) {
       obs::ScopedSpan run_span("steiner_all_source");
       budget_.check("steiner_all_source");
-      sp[v] = dijkstra(g_, static_cast<VertexId>(v));
+      auto ws = acquire_workspace();
+      sp[v] = dijkstra(g_, static_cast<VertexId>(v), *ws);
     }, budget_.cancel);
     static obs::Counter& par_runs = obs::MetricsRegistry::global().counter(
         obs::keys::kParallelSteinerDijkstras);
@@ -335,7 +367,7 @@ SteinerResult SteinerSolver::exact_small(
                                    /*stride=*/16);
     for (std::size_t v = 0; v < n; ++v) {
       poller.poll();
-      sp[v] = dijkstra(g_, static_cast<VertexId>(v));
+      sp[v] = dijkstra(g_, static_cast<VertexId>(v), *ws_);
     }
   }
   for (std::size_t v = 0; v < n; ++v) note_run(sp[v]);
@@ -425,7 +457,8 @@ SteinerResult SteinerSolver::exact_small(
     }
   }
 
-  r = finalize(builder, root, terminals, g_.vertex_count());
+  r = finalize(builder, root, terminals, g_.vertex_count(), scratch_sub_,
+               *ws_);
   TVEG_ASSERT_MSG(r.feasible, "exact reconstruction lost a terminal");
   // Shared arcs can only make the realized tree cheaper than the DP value,
   // and no tree beats the optimum — so they must agree.

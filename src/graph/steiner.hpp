@@ -13,13 +13,21 @@
 //    leaf-pruning cleanup; fast, no worst-case guarantee, strong in practice.
 //  * exact_small — Dreyfus–Wagner-style subset DP, exponential in |X|;
 //    ground truth for tests and for the approximation-ratio benches.
+//
+// Memory layout (DESIGN.md "Data layout & hot-path memory"): all per-query
+// state is dense and index-addressed — the forward-tree cache is a slot
+// array into a stable deque, terminal distances live in one flat
+// terminal-major matrix, and every Dijkstra runs on a pooled workspace — so
+// repeated queries against one solver allocate nothing in steady state.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/workspace_pool.hpp"
 #include "support/budget.hpp"
 #include "support/thread_pool.hpp"
 
@@ -41,7 +49,8 @@ struct SteinerResult {
 };
 
 /// Directed Steiner solver bound to one digraph; caches single-source
-/// shortest-path trees across queries.
+/// shortest-path trees across queries. Construction freezes the graph (CSR
+/// form) — do not mutate it afterwards.
 class SteinerSolver {
  public:
   explicit SteinerSolver(const Digraph& g);
@@ -105,9 +114,11 @@ class SteinerSolver {
   support::Budget budget_;
   support::ThreadPool* pool_ = nullptr;
 
-  /// dist_to_term_[k][v] = shortest distance v → terminals_[k] for the
-  /// terminal set of the current recursive_greedy query.
-  std::vector<std::vector<double>> dist_to_term_;
+  /// dist(u → terminals_[k]) of the current recursive_greedy query, stored
+  /// terminal-major at [u*term_count_ + k] so the density scan's inner loop
+  /// over k is one contiguous read per vertex.
+  std::vector<double> dist_to_term_;
+  std::size_t term_count_ = 0;
 
   struct GreedyState;
   void greedy_cover(GreedyState& state, VertexId v, int level,
@@ -115,7 +126,16 @@ class SteinerSolver {
 
   const Digraph& g_;
   Digraph reversed_;
-  std::unordered_map<VertexId, ShortestPaths> forward_cache_;
+  /// Forward-tree cache: forward_slot_[v] indexes forward_store_, -1 when
+  /// absent. A deque so cached trees keep stable addresses while
+  /// greedy_cover holds references across recursive inserts.
+  std::vector<std::int32_t> forward_slot_;
+  std::deque<ShortestPaths> forward_store_;
+  /// Reusable scratch for finalize()'s subgraph cleanup pass.
+  Digraph scratch_sub_;
+  /// This solver's serial-phase workspace, leased for the solver lifetime;
+  /// parallel phases lease per-task workspaces from the same pool.
+  WorkspaceHandle ws_;
 };
 
 }  // namespace tveg::graph

@@ -1,0 +1,28 @@
+#include "graph/workspace_pool.hpp"
+
+#include "obs/keys.hpp"
+#include "obs/metrics.hpp"
+
+namespace tveg::graph {
+
+WorkspacePool& dijkstra_workspaces() {
+  static WorkspacePool pool(WorkspacePool::Hooks{
+      .on_create =
+          [] {
+            auto& reg = obs::MetricsRegistry::global();
+            reg.counter(obs::keys::kSteinerHeapAcquires).add(1);
+            reg.counter(obs::keys::kAllocSteadyState).add(1);
+          },
+      .on_reuse =
+          [] {
+            auto& reg = obs::MetricsRegistry::global();
+            reg.counter(obs::keys::kSteinerHeapAcquires).add(1);
+            reg.counter(obs::keys::kSteinerHeapReuses).add(1);
+          },
+  });
+  return pool;
+}
+
+WorkspaceHandle acquire_workspace() { return dijkstra_workspaces().acquire(); }
+
+}  // namespace tveg::graph

@@ -47,11 +47,22 @@ inline constexpr char kAuxPowerVertices[] = "tveg.aux.power_vertices";
 inline constexpr char kAuxLastVertices[] = "tveg.aux.last_vertices";
 inline constexpr char kAuxLastArcs[] = "tveg.aux.last_arcs";
 
+// -- graph/digraph ----------------------------------------------------------
+inline constexpr char kGraphFreezes[] = "tveg.graph.freezes";
+inline constexpr char kGraphFrozenArcs[] = "tveg.graph.frozen_arcs";
+
 // -- graph/steiner ----------------------------------------------------------
 inline constexpr char kSteinerQueries[] = "tveg.steiner.queries";
 inline constexpr char kSteinerDijkstraRuns[] = "tveg.steiner.dijkstra_runs";
 inline constexpr char kSteinerNodesExpanded[] = "tveg.steiner.nodes_expanded";
 inline constexpr char kSteinerRelaxations[] = "tveg.steiner.relaxations";
+inline constexpr char kSteinerHeapAcquires[] = "tveg.steiner.heap.acquires";
+inline constexpr char kSteinerHeapReuses[] = "tveg.steiner.heap.reuses";
+
+// -- support/object_pool ----------------------------------------------------
+/// Objects constructed by workspace pools after warmup: zero in steady
+/// state (asserted by tests/perf/steady_state_alloc_test).
+inline constexpr char kAllocSteadyState[] = "tveg.alloc.steady_state";
 
 // -- parallel phases --------------------------------------------------------
 inline constexpr char kParallelSteinerDijkstras[] =

@@ -1,0 +1,127 @@
+// Generic free-list object pool with RAII handout handles.
+//
+// The solve core keeps heavyweight scratch objects (Dijkstra workspaces,
+// see src/graph/workspace_pool.*) alive across queries instead of
+// reconstructing them: acquire() hands out an idle object or default-
+// constructs one, and the Handle returns it to the free list on
+// destruction. Objects are never shrunk or destroyed while the pool lives,
+// so after warmup the pool reaches a steady state in which acquire()
+// allocates nothing — observable through the on_create hook (wired to the
+// `tveg.alloc.steady_state` counter and asserted zero by
+// tests/perf/steady_state_alloc_test).
+//
+// Thread safety: acquire() and Handle release may race freely (the free
+// list is lock-protected); each handed-out object is owned exclusively by
+// its Handle until release.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace tveg::support {
+
+template <typename T>
+class ObjectPool {
+ public:
+  /// Observer hooks, called outside the pool lock. `on_create` fires when
+  /// acquire() must default-construct (a real allocation); `on_reuse` fires
+  /// when an idle object is handed back out.
+  struct Hooks {
+    std::function<void()> on_create;
+    std::function<void()> on_reuse;
+  };
+
+  ObjectPool() = default;
+  explicit ObjectPool(Hooks hooks) : hooks_(std::move(hooks)) {}
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Exclusive loan of one pooled object; returns it on destruction. The
+  /// Handle must not outlive the pool.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          obj_(std::move(other.obj_)) {}
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        obj_ = std::move(other.obj_);
+      }
+      return *this;
+    }
+    ~Handle() { release(); }
+
+    explicit operator bool() const { return obj_ != nullptr; }
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+    T* get() const { return obj_.get(); }
+
+   private:
+    friend class ObjectPool;
+    Handle(ObjectPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    void release() {
+      if (pool_ && obj_) pool_->put_back(std::move(obj_));
+      pool_ = nullptr;
+    }
+
+    ObjectPool* pool_ = nullptr;
+    std::unique_ptr<T> obj_;
+  };
+
+  Handle acquire() {
+    std::unique_ptr<T> obj;
+    bool reused = false;
+    {
+      MutexLock lock(mu_);
+      if (!free_.empty()) {
+        obj = std::move(free_.back());
+        free_.pop_back();
+        reused = true;
+      } else {
+        ++created_;
+      }
+    }
+    if (!obj) obj = std::make_unique<T>();
+    if (reused) {
+      if (hooks_.on_reuse) hooks_.on_reuse();
+    } else {
+      if (hooks_.on_create) hooks_.on_create();
+    }
+    return Handle(this, std::move(obj));
+  }
+
+  /// Objects default-constructed so far (monotone; equals the pool's total
+  /// population, idle + handed out).
+  std::size_t created() const {
+    MutexLock lock(mu_);
+    return created_;
+  }
+  /// Objects currently idle on the free list.
+  std::size_t idle() const {
+    MutexLock lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void put_back(std::unique_ptr<T> obj) {
+    MutexLock lock(mu_);
+    free_.push_back(std::move(obj));
+  }
+
+  const Hooks hooks_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<T>> free_ TVEG_GUARDED_BY(mu_);
+  std::size_t created_ TVEG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tveg::support

@@ -67,7 +67,7 @@ bool rule_applies(const std::string& rule, const std::string& path) {
 
 /// Registered metric subsystems; a key must read tveg.<subsystem>.<name>.
 const char* kMetricKeyPattern =
-    R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli|cache|parallel|batch|govern|mem)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
+    R"(^tveg\.(pool|obs|support|tvg|dts|aux|channel|trace|graph|steiner|nlp|core|eedcb|fr|prune|bip|online|fault|sim|mc|cli|cache|parallel|batch|govern|mem|alloc)\.[a-z0-9_]+(\.[a-z0-9_]+)*$)";
 
 void check_metrics_keys(bool honor, const std::string& path,
                         const Views& views,
@@ -271,6 +271,43 @@ void check_no_core_include_in_certify(bool honor, const std::string& path,
   }
 }
 
+/// Flat-memory invariant (DESIGN.md "Data layout & hot-path memory"): the
+/// solve core's hot-path state is dense and index-addressed — CSR arc
+/// arrays, slot vectors, arithmetic vertex-id codecs. An `unordered_map` or
+/// nested `std::vector<std::vector<...>>` declared in a hot-path header
+/// reintroduces per-query hashing/pointer-chasing, so the rule flags them
+/// in src/graph/ headers and core/aux_graph.hpp. Deliberate exceptions
+/// (e.g. a cold-path memo) take a `tveg-lint: allow(no-map-in-hot-path)`
+/// pragma with a comment defending the container choice.
+void check_no_map_in_hot_path(bool honor, const std::string& path,
+                              const Views& views,
+                              const std::vector<std::size_t>& starts,
+                              const std::string& raw,
+                              std::vector<Finding>& findings) {
+  const std::string p = normalized(path);
+  const bool hot_header =
+      path_ends_with(p, ".hpp") &&
+      (p.find("/graph/") != std::string::npos ||
+       path_ends_with(p, "core/aux_graph.hpp"));
+  const bool in_scope =
+      hot_header || p.find("map_in_hot_path") != std::string::npos;
+  if (!in_scope) return;
+  static const std::regex hot_container(
+      R"(\bunordered_map\s*<|\bvector\s*<\s*(?:std\s*::\s*)?vector\b)");
+  const std::string& hay = views.tokens;
+  for (auto it = std::sregex_iterator(hay.begin(), hay.end(), hot_container);
+       it != std::sregex_iterator(); ++it) {
+    const long line =
+        line_of(starts, static_cast<std::size_t>(it->position(0)));
+    if (suppressed(honor, raw, starts, line, "no-map-in-hot-path")) continue;
+    findings.push_back(
+        {path, line, "no-map-in-hot-path",
+         "unordered_map / nested vector in a hot-path header; use flat "
+         "indexed storage (CSR offsets, slot arrays, arithmetic id codecs) "
+         "per DESIGN.md \"Data layout & hot-path memory\""});
+  }
+}
+
 std::string shell_quote(const std::string& s) {
   std::string out = "'";
   for (const char c : s)
@@ -307,6 +344,7 @@ std::vector<Finding> lint_source_impl(const std::string& path,
   check_no_unbudgeted_pool_loop(honor, path, views, starts, text, findings);
   check_no_core_include_in_certify(honor, path, views, starts, text,
                                    findings);
+  check_no_map_in_hot_path(honor, path, views, starts, text, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -321,7 +359,7 @@ const std::vector<std::string>& rule_ids() {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
       "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
-      "no-core-include-in-certify",
+      "no-core-include-in-certify",                "no-map-in-hot-path",
   };
   return ids;
 }

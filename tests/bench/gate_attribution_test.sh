@@ -49,7 +49,7 @@ PYEOF
 }
 
 #  baseline: every bench at nominal cost
-for bench in micro_dts micro_steiner online_vs_offline; do
+for bench in micro_dts micro_steiner micro_aux online_vs_offline; do
   write_report "${BASE}" "${bench}" 50 30 100
 done
 
@@ -58,6 +58,7 @@ done
 # (aux_graph only 30 -> 40), so the gate must fail and finger 'steiner'.
 write_report "${WORK}" micro_dts 50 30 100
 write_report "${WORK}" micro_steiner 140 40 200
+write_report "${WORK}" micro_aux 50 30 100
 write_report "${WORK}" online_vs_offline 50 30 100
 
 out="$(BASELINE_DIR="${BASE}" WORK_DIR="${WORK}" "${GATE}" --skip-run 2>&1)" \
@@ -71,7 +72,7 @@ echo "${out}" | grep -q "steiner (+90.00 ms)" || {
   echo "FAIL: phase delta missing from the blame line"; echo "${out}"; exit 1; }
 
 # --- case 2: same timings as baseline must pass ---------------------------
-for bench in micro_dts micro_steiner online_vs_offline; do
+for bench in micro_dts micro_steiner micro_aux online_vs_offline; do
   write_report "${WORK}" "${bench}" 50 30 100
 done
 out="$(BASELINE_DIR="${BASE}" WORK_DIR="${WORK}" "${GATE}" --skip-run 2>&1)" \

@@ -146,6 +146,66 @@ TEST(AuxGraph, LatencyShiftsReceiverVertices) {
   EXPECT_TRUE(check_feasibility(inst, s).feasible);
 }
 
+TEST(AuxGraph, VertexIdCodecIsArithmetic) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  // u vertices are node-major and contiguous: id(u_{i,l}) follows the
+  // point-offset codec, and everything at or above first_power_vertex() is
+  // a power vertex.
+  graph::VertexId expected = 0;
+  for (NodeId i = 0; i < 3; ++i)
+    for (std::size_t l = 0; l < aux.point_count(i); ++l)
+      EXPECT_EQ(aux.node_vertex(i, l), expected++);
+  EXPECT_EQ(aux.first_power_vertex(), expected);
+  EXPECT_LE(static_cast<std::size_t>(aux.first_power_vertex()) +
+                aux.live_power_vertex_count(),
+            aux.vertex_count());
+}
+
+TEST(AuxGraph, ExtractScheduleDecodesPowerVerticesArithmetically) {
+  // Pin the decode path directly: a hand-built "tree" containing exactly
+  // one transmit arc (into a power vertex) plus chain/deliver arcs must
+  // yield the same schedule as the full solver round-trip — the before/
+  // after identity for the flat-id rewrite of extract_schedule.
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+
+  graph::SteinerSolver solver(aux.digraph());
+  const auto tree =
+      solver.recursive_greedy(aux.source_vertex(), aux.terminals(), 2);
+  ASSERT_TRUE(tree.feasible);
+  const Schedule full = aux.extract_schedule(tree);
+  ASSERT_EQ(full.size(), 1u);
+
+  // Re-extract from a reordered copy with the non-power arcs stripped:
+  // only arcs entering vertices >= first_power_vertex() may contribute.
+  graph::SteinerResult transmit_only;
+  for (const auto& arc : tree.arcs)
+    if (arc.to >= aux.first_power_vertex()) transmit_only.arcs.push_back(arc);
+  ASSERT_GE(transmit_only.arcs.size(), 1u);
+  const Schedule decoded = aux.extract_schedule(transmit_only);
+  ASSERT_EQ(decoded.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(decoded.transmissions()[i].relay, full.transmissions()[i].relay);
+    EXPECT_DOUBLE_EQ(decoded.transmissions()[i].time,
+                     full.transmissions()[i].time);
+    EXPECT_DOUBLE_EQ(decoded.transmissions()[i].cost,
+                     full.transmissions()[i].cost);
+  }
+}
+
+TEST(AuxGraph, DigraphIsFrozenAtConstructionEnd) {
+  const Tveg tveg = star_tveg();
+  const TmedbInstance inst{&tveg, 0, 100.0};
+  const auto dts = tveg.build_dts();
+  const AuxGraph aux(inst, dts);
+  EXPECT_TRUE(aux.digraph().frozen());
+}
+
 TEST(AuxGraph, PointAccessors) {
   const Tveg tveg = star_tveg();
   const TmedbInstance inst{&tveg, 0, 100.0};

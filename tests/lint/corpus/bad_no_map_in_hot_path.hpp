@@ -1,0 +1,10 @@
+// tveg-lint fixture: exactly one no-map-in-hot-path finding (line 8).
+// The "map_in_hot_path" in the file name opts it into the hot-path scope.
+// Never compiled — only scanned by the lint tests and corpus ctests.
+#include <unordered_map>
+
+namespace tveg::fixture {
+
+struct HotState { std::unordered_map<int, double> forward_cache; };
+
+}  // namespace tveg::fixture

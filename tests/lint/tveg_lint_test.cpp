@@ -41,6 +41,7 @@ TEST(TvegLint, CorpusFixturesPinExactFindings) {
       {"bad_no_float.cpp", "no-float", 8},
       {"bad_no_core_include_in_certify.cpp", "no-core-include-in-certify",
        8},
+      {"bad_no_map_in_hot_path.hpp", "no-map-in-hot-path", 8},
   };
   for (const auto& fixture : fixtures) {
     const auto findings =
@@ -177,9 +178,35 @@ TEST(TvegLint, RuleIdsAreStable) {
       "no-unseeded-rng", "no-wall-clock",          "unchecked-result",
       "metrics-key",     "no-float",               "header-not-self-contained",
       "no-wall-clock-in-spans",                    "no-unbudgeted-pool-loop",
-      "no-core-include-in-certify",
+      "no-core-include-in-certify",                "no-map-in-hot-path",
   };
   EXPECT_EQ(rule_ids(), expected);
+}
+
+TEST(TvegLint, MapInHotPathFlaggedInHotHeadersOnly) {
+  const std::string map_member =
+      "struct S { std::unordered_map<int, double> cache_; };\n";
+  const std::string nested_vector =
+      "struct S { std::vector<std::vector<double>> rows_; };\n";
+  // Hot-path headers: src/graph/ and the aux-graph header.
+  auto findings = lint_source("src/graph/steiner.hpp", map_member);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-map-in-hot-path");
+  EXPECT_EQ(lint_source("src/core/aux_graph.hpp", nested_vector).size(), 1u);
+  // Out of scope: .cpp files (query-local scratch is fine), non-hot layers.
+  EXPECT_TRUE(lint_source("src/graph/steiner.cpp", map_member).empty());
+  EXPECT_TRUE(lint_source("src/core/solve_many.hpp", map_member).empty());
+  EXPECT_TRUE(lint_source("src/support/config.hpp", nested_vector).empty());
+  // Flat containers in scope stay clean.
+  EXPECT_TRUE(lint_source("src/graph/digraph.hpp",
+                          "struct S { std::vector<double> dist_;\n"
+                          "  std::vector<std::pair<double, int>> heap_; };\n")
+                  .empty());
+  // Suppressible like every other rule, with a defending comment.
+  const std::string allowed =
+      "struct S { std::unordered_map<int, double> memo_; };"
+      "  // cold-path memo; tveg-lint: allow(no-map-in-hot-path)\n";
+  EXPECT_TRUE(lint_source("src/graph/steiner.hpp", allowed).empty());
 }
 
 TEST(TvegLint, UnbudgetedPoolLoopFlaggedInSolverLayersOnly) {

@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/solve_many.hpp"
 #include "fault/degrade.hpp"
+#include "graph/workspace_pool.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/generators.hpp"
@@ -102,6 +104,58 @@ TEST(ParallelStress, ConcurrentRobustSolvesAgree) {
                     .feasible);
     EXPECT_DOUBLE_EQ(results[c].result.schedule.total_cost(),
                      results[0].result.schedule.total_cost());
+  }
+}
+
+TEST(ParallelStress, ConcurrentSolveManyBatchesShareWorkspacePool) {
+  // Several caller threads run pooled solve_many batches at once. All their
+  // Dijkstra scratch flows through graph::dijkstra_workspaces() — the
+  // shared free list is the contended state this test hammers under TSan —
+  // and every batch must still reproduce the serial baseline bit-for-bit.
+  const trace::ContactTrace t = sample_trace(7);
+  const core::Tveg tveg(t, unit_radio(),
+                        {.model = channel::ChannelModel::kStep});
+  std::vector<core::SolveRequest> requests;
+  for (NodeId s = 0; s < 4; ++s)
+    requests.push_back({.source = s, .deadline = 200.0});
+  requests.push_back({.source = 0, .deadline = 160.0});
+
+  const std::vector<core::SchedulerResult> baseline =
+      core::solve_many(tveg, requests, {});
+
+  constexpr std::size_t kCallers = 3;
+  std::vector<std::vector<core::SchedulerResult>> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      core::EedcbOptions pooled;
+      pooled.pool = &support::ThreadPool::global();
+      results[c] = core::solve_many(tveg, requests, pooled);
+    });
+  }
+  for (auto& th : callers) th.join();
+  // Steady state across the batches: the pool only ever grows, and every
+  // workspace handed out was returned.
+  auto& pool = graph::dijkstra_workspaces();
+  EXPECT_EQ(pool.idle(), pool.created());
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    ASSERT_EQ(results[c].size(), baseline.size());
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      EXPECT_EQ(results[c][r].covered_all, baseline[r].covered_all);
+      EXPECT_DOUBLE_EQ(results[c][r].schedule.total_cost(),
+                       baseline[r].schedule.total_cost());
+      ASSERT_EQ(results[c][r].schedule.transmissions().size(),
+                baseline[r].schedule.transmissions().size());
+      for (std::size_t i = 0; i < baseline[r].schedule.transmissions().size();
+           ++i) {
+        const auto& got = results[c][r].schedule.transmissions()[i];
+        const auto& want = baseline[r].schedule.transmissions()[i];
+        EXPECT_EQ(got.relay, want.relay);
+        EXPECT_DOUBLE_EQ(got.time, want.time);
+        EXPECT_DOUBLE_EQ(got.cost, want.cost);
+      }
+    }
   }
 }
 
